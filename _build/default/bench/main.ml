@@ -1,0 +1,765 @@
+(* Benchmark harness: regenerates every experiment table of the
+   reproduction (E1-E9 in DESIGN.md / EXPERIMENTS.md) plus Bechamel
+   micro-benchmarks of the core operations.
+
+   The paper ("On the Parameterized Complexity of Learning First-Order
+   Logic", PODS 2022) has no empirical section of its own — every table
+   below validates a *claim* of the paper (see EXPERIMENTS.md for the
+   claim-by-claim record).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e5 e7   # selected experiments
+     dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only *)
+
+open Cgraph
+module Sam = Folearn.Sample
+module Brute = Folearn.Erm_brute
+module Real = Folearn.Erm_realizable
+module Nd = Folearn.Erm_nd
+module Pac = Folearn.Pac
+module Vc = Folearn.Vc
+module Red = Folearn.Reduction
+module S = Splitter.Strategy
+module T = Modelcheck.Types
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title = Printf.printf "\n=== %s ===\n" title
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* E1: XP data complexity of direct FO model checking                  *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1  FO-MC data complexity (naive evaluator, fixed phi)";
+  let phi2 = Fo.Parser.parse "forall x. exists y. E(x, y)" in
+  let phi3 =
+    Fo.Parser.parse
+      "forall x. exists y. exists z. E(x, y) /\\ E(y, z) /\\ ~ z = x"
+  in
+  row "%-10s %6s %14s %14s\n" "graph" "n" "qr2 time (s)" "qr3 time (s)";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (gname, g) ->
+          let _, t2 = time (fun () -> Modelcheck.Eval.sentence g phi2) in
+          let _, t3 = time (fun () -> Modelcheck.Eval.sentence g phi3) in
+          row "%-10s %6d %14.4f %14.4f\n" gname (Graph.order g) t2 t3)
+        [
+          ("path", Gen.path n);
+          ("tree", Gen.random_tree ~seed:n n);
+          ("grid", Gen.grid (n / 8) 8);
+        ])
+    [ 32; 64; 128; 256 ];
+  row "shape check: time grows ~ n^(qr), independent of the class.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2: Theorem 1 - model checking via the ERM oracle                   *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2  Theorem 1: FO-MC through the (L,Q)-FO-ERM oracle";
+  let sentences =
+    [
+      "exists x. Red(x) /\\ exists y. E(x, y) /\\ Blue(y)";
+      "forall x. exists y. E(x, y)";
+      "exists x. forall y. ~ E(x, y)";
+    ]
+  in
+  row "%-8s %-44s %7s %7s %6s %7s %9s\n" "graph" "sentence" "direct" "viaERM"
+    "agree" "calls" "|T| (top)";
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun src ->
+          let phi = Fo.Parser.parse src in
+          let direct = Modelcheck.Eval.sentence g phi in
+          let via, stats = Red.model_check ~oracle:Red.exact_oracle g phi in
+          row "%-8s %-44s %7b %7b %6b %7d %9s\n" gname src direct via
+            (direct = via) stats.Red.oracle_calls
+            (match stats.Red.representative_sets with
+            | t :: _ -> string_of_int t
+            | [] -> "-"))
+        sentences)
+    [
+      ( "P10",
+        Graph.with_colors (Gen.path 10) [ ("Red", [ 0; 5 ]); ("Blue", [ 9 ]) ]
+      );
+      ( "tree12",
+        Gen.colored_balanced ~seed:3 ~colors:[ "Red"; "Blue" ]
+          (Gen.random_tree ~seed:5 12) );
+      ("C8", Gen.cycle 8);
+    ];
+  row
+    "shape check: 100%% agreement; oracle calls stay O(n^2 * depth) and |T| \
+     is far below n.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3: Proposition 11 - brute-force ERM scaling in n^ell               *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header "E3  Prop 11: exact ERM, cost n^ell (q = 1, k = 1)";
+  row "%-6s %6s %6s %12s %12s %8s\n" "class" "n" "ell" "params" "time (s)"
+    "err";
+  List.iter
+    (fun n ->
+      let g =
+        Gen.colored ~seed:n ~colors:[ "Red" ] (Gen.random_tree ~seed:n n)
+      in
+      let w = n / 2 in
+      let lam =
+        Sam.label_with g ~target:(fun v -> Bfs.dist g v.(0) w <= 1)
+          (Sam.all_tuples g ~k:1)
+      in
+      List.iter
+        (fun ell ->
+          if ell = 0 || (ell = 1 && n <= 40) || (ell = 2 && n <= 12) then begin
+            let r, t = time (fun () -> Brute.solve g ~k:1 ~ell ~q:1 lam) in
+            row "%-6s %6d %6d %12d %12.4f %8.3f\n" "tree" n ell
+              r.Brute.params_tried t r.Brute.err
+          end)
+        [ 0; 1; 2 ])
+    [ 8; 12; 16; 24; 40 ];
+  row
+    "shape check: time multiplies by ~n when ell increases by 1; ell = 1 \
+     reaches err 0 (the target uses one constant).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4: Proposition 12 - the realisable k = 1 learner                   *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4  Prop 12: realisable k=1 prefix search vs brute force";
+  let target = Fo.Parser.parse "exists z. E(x, z) /\\ E(z, y1)" in
+  row "%-6s %6s %10s %12s | %12s %12s\n" "class" "n" "mc calls"
+    "prefix t(s)" "brute tried" "brute t(s)";
+  List.iter
+    (fun n ->
+      let g = Gen.path n in
+      let hidden = n / 2 in
+      let lam =
+        Sam.label_with g
+          ~target:(fun v ->
+            Modelcheck.Eval.holds g [ ("x", v.(0)); ("y1", hidden) ] target)
+          (Sam.all_tuples g ~k:1)
+      in
+      let pre, t_pre =
+        time (fun () -> Real.solve g ~ell:1 ~catalogue:[ target ] lam)
+      in
+      let brute, t_brute =
+        time (fun () -> Brute.solve g ~k:1 ~ell:1 ~q:1 lam)
+      in
+      match pre with
+      | Some r ->
+          row "%-6s %6d %10d %12.4f | %12d %12.4f\n" "path" n r.Real.mc_calls
+            t_pre brute.Brute.params_tried t_brute
+      | None -> row "%-6s %6d %10s %12s | (reject)\n" "path" n "-" "-")
+    [ 8; 12; 16; 24 ];
+  row
+    "shape check: both reach err 0; the prefix search performs <= ell*n MC \
+     calls (each itself poly), the brute force tries n^ell parameter \
+     tuples.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorem 13 - the nowhere dense learner                          *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5  Theorem 13: (L,Q)-FO-ERM on nowhere dense classes";
+  row "%-8s %6s %9s %8s %5s %7s %9s | %7s %10s\n" "class" "n" "nd t(s)"
+    "nd err" "ell" "rounds" "branches" "eps*" "guarantee";
+  let eps = 0.125 in
+  List.iter
+    (fun (cname, sizes, make_g, cls) ->
+      List.iter
+        (fun n ->
+          let g = make_g n in
+          let w = n / 2 in
+          let lam =
+            Sam.label_with g ~target:(fun v -> Bfs.dist g v.(0) w <= 1)
+              (Sam.all_tuples g ~k:1)
+          in
+          let cfg =
+            Nd.default_config ~epsilon:eps ~radius:1 ~branch_width:8 ~k:1
+              ~ell_star:1 ~q_star:1 cls
+          in
+          let rep, t_nd = time (fun () -> Nd.solve cfg g lam) in
+          let eps_star =
+            if n <= 40 then Some (Brute.solve g ~k:1 ~ell:1 ~q:1 lam).Brute.err
+            else None
+          in
+          row "%-8s %6d %9.3f %8.3f %5d %7d %9d | %7s %10s\n" cname n t_nd
+            rep.Nd.err rep.Nd.ell_used
+            (List.length rep.Nd.rounds)
+            rep.Nd.branches_explored
+            (match eps_star with
+            | Some e -> Printf.sprintf "%.3f" e
+            | None -> "(skip)")
+            (match eps_star with
+            | Some e -> if rep.Nd.err <= e +. eps +. 1e-9 then "OK" else "VIOL"
+            | None -> if rep.Nd.err <= eps +. 1e-9 then "OK" else "VIOL"))
+        sizes)
+    [
+      ( "tree",
+        [ 15; 30; 60; 120 ],
+        (fun n -> Gen.random_tree ~seed:n n),
+        Splitter.Nowhere_dense.forests );
+      ( "grid",
+        [ 15; 30; 60 ],
+        (fun n -> Gen.grid (max 3 (n / 6)) 6),
+        Splitter.Nowhere_dense.planar_like );
+      ( "deg3",
+        [ 15; 30; 60 ],
+        (fun n -> Gen.random_bounded_degree ~seed:n ~n ~d:3),
+        Splitter.Nowhere_dense.bounded_degree ~d:3 );
+      ( "2tree",
+        [ 15; 30; 60 ],
+        (fun n -> Gen.ktree ~seed:n ~k:2 ~n),
+        Splitter.Nowhere_dense.planar_like );
+    ];
+  row
+    "shape check: err <= eps* + eps everywhere; nd time grows gently with n \
+     while the brute-force baseline (E3) multiplies by n per parameter.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6: PAC generalisation via uniform convergence                      *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header "E6  agnostic PAC: generalisation gap vs sample size";
+  let g =
+    Gen.colored ~seed:41 ~colors:[ "Premium" ]
+      (Gen.random_bounded_degree ~seed:13 ~n:40 ~d:4)
+  in
+  let target v =
+    not
+      (Array.exists
+         (fun u -> Graph.has_color g "Premium" u)
+         (Graph.neighbors g v.(0)))
+  in
+  let solver lam = (Brute.solve g ~k:1 ~ell:0 ~q:1 lam).Brute.hypothesis in
+  row "%-8s %6s %12s %12s %10s\n" "noise" "m" "train err" "risk" "gap";
+  List.iter
+    (fun noise ->
+      let d = Pac.uniform_noisy g ~k:1 ~target ~noise in
+      List.iter
+        (fun m ->
+          let runs =
+            List.init 5 (fun s -> Pac.run ~solver d ~seed:(97 * s) ~m)
+          in
+          let avg f = List.fold_left (fun a o -> a +. f o) 0.0 runs /. 5.0 in
+          row "%-8.2f %6d %12.3f %12.3f %10.3f\n" noise m
+            (avg (fun o -> o.Pac.training_error))
+            (avg (fun o -> o.Pac.generalisation_error))
+            (avg (fun o -> o.Pac.gap)))
+        [ 10; 40; 160; 640 ])
+    [ 0.0; 0.15 ];
+  row
+    "shape check: gap shrinks ~1/sqrt(m); with noise, risk approaches the \
+     Bayes risk (= the noise rate) rather than 0.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7: the splitter game characterisation (Fact 4)                     *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7  splitter game: rounds to win across classes";
+  row "%-10s %6s %6s %6s %6s\n" "class" "n" "r=1" "r=2" "r=3";
+  let rounds g r =
+    match
+      S.empirical_rounds ~max_rounds:(Graph.order g + 2) g ~r
+        ~splitter:S.best_heuristic
+    with
+    | Some s -> string_of_int s
+    | None -> "-"
+  in
+  List.iter
+    (fun (cname, make_g) ->
+      List.iter
+        (fun n ->
+          let g = make_g n in
+          row "%-10s %6d %6s %6s %6s\n" cname (Graph.order g) (rounds g 1)
+            (rounds g 2) (rounds g 3))
+        [ 16; 32; 64 ])
+    [
+      ("path", Gen.path);
+      ("tree", fun n -> Gen.random_tree ~seed:n n);
+      ("grid", fun n -> Gen.grid (max 2 (n / 8)) 8);
+      ("deg3", fun n -> Gen.random_bounded_degree ~seed:n ~n ~d:3);
+      ("2tree", fun n -> Gen.ktree ~seed:n ~k:2 ~n);
+      ("clique", Gen.clique);
+      ("gnp.5", fun n -> Gen.gnp ~seed:n ~n ~p:0.5);
+    ];
+  row
+    "shape check: sparse classes need a bounded number of rounds as n \
+     grows; cliques (and dense G(n,p)) need ~n rounds - the Fact 4 \
+     dichotomy.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8: Gaifman locality of types (Fact 5 / Corollary 6)                *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8  locality: Fact 5 at radius r(q), and type growth";
+  row "%-12s %6s %4s %16s %12s\n" "class" "n" "q" "violations@r(q)"
+    "min radius";
+  List.iter
+    (fun (cname, g) ->
+      List.iter
+        (fun q ->
+          let r = Fo.Gaifman.radius q in
+          let v = Modelcheck.Locality.violations g ~q ~r ~k:1 in
+          let min_r = Modelcheck.Locality.minimal_radius g ~q ~k:1 ~max_r:6 in
+          row "%-12s %6d %4d %16d %12s\n" cname (Graph.order g) q
+            (List.length v)
+            (match min_r with Some r -> string_of_int r | None -> ">6"))
+        [ 0; 1 ])
+    [
+      ("col-path", Graph.with_colors (Gen.path 14) [ ("Red", [ 0; 6; 7 ]) ]);
+      ( "col-tree",
+        Gen.colored ~seed:5 ~colors:[ "Red"; "Blue" ]
+          (Gen.random_tree ~seed:9 14) );
+      ("cycle", Gen.cycle 12);
+    ];
+  row "\ntype counts (k = 1): distinct tp_q classes per graph\n";
+  row "%-12s %6s %8s %8s %8s\n" "class" "n" "q=0" "q=1" "q=2";
+  List.iter
+    (fun (cname, g) ->
+      row "%-12s %6d %8d %8d %8d\n" cname (Graph.order g)
+        (T.count_types g ~q:0 ~k:1)
+        (T.count_types g ~q:1 ~k:1)
+        (T.count_types g ~q:2 ~k:1))
+    [
+      ("path", Gen.path 14);
+      ("col-path", Graph.with_colors (Gen.path 14) [ ("Red", [ 0; 6; 7 ]) ]);
+      ("cycle", Gen.cycle 14);
+      ("tree", Gen.random_tree ~seed:9 14);
+      ("gnp.4", Gen.gnp ~seed:2 ~n:14 ~p:0.4);
+    ];
+  row
+    "shape check: zero Fact 5 violations at the Gaifman radius; the \
+     realised minimal radius is usually much smaller (the bound is \
+     worst-case); type counts grow with q and with structural richness.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9: VC dimension / hypothesis-class size (Section 3, Adler-Adler)   *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  header "E9  VC dimension of H_{k,ell,q}(G): sparse vs dense (Adler-Adler)";
+  (* For ell = 0 the hypotheses are exactly the unions of realised
+     q-type classes, so VC(H_{1,0,q}) = #realised classes: with every
+     vertex in its own class, every dichotomy is realisable. *)
+  row "%-10s %6s %18s %18s\n" "class" "n" "VC(H_{1,0,3}) = #tp" "VC lb, ell=1 q=1";
+  List.iter
+    (fun (cname, make_g) ->
+      List.iter
+        (fun n ->
+          let g = make_g n in
+          let classes = T.count_types g ~q:3 ~k:1 in
+          let lb = Vc.lower_bound ~seed:5 g ~k:1 ~ell:1 ~q:1 ~max_d:6 in
+          row "%-10s %6d %18d %17d+\n" cname (Graph.order g) classes lb)
+        [ 8; 12; 16; 20 ])
+    [
+      ("path", Gen.path);
+      ("tree", fun n -> Gen.random_tree ~seed:n n);
+      ("gnp.5", fun n -> Gen.gnp ~seed:n ~n ~p:0.5);
+    ];
+  row "\nhypothesis-class size |H_{1,ell,1}(G)| = f * n^ell (Section 3):\n";
+  row "%-10s %6s %6s %16s\n" "class" "n" "ell" "log2 |H| bound";
+  List.iter
+    (fun n ->
+      let g = Gen.colored ~seed:n ~colors:[ "Red" ] (Gen.random_tree ~seed:n n) in
+      List.iter
+        (fun ell ->
+          row "%-10s %6d %6d %16.1f\n" "col-tree" n ell
+            (Pac.log2_hypothesis_count g ~k:1 ~ell ~q:1))
+        [ 0; 1; 2 ])
+    [ 12; 24 ];
+  row
+    "shape check: on paths (nowhere dense) the rank-3 type count - and \
+     hence VC(H_{1,0,3}) - saturates at a constant (8), while on dense \
+     G(n,1/2) every vertex gets its own type: VC grows linearly in n, the \
+     Adler-Adler dichotomy.  |H| carries the n^ell factor of Section 3.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10: the counting extension (paper's conclusion / FOC)              *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header "E10  FOC extension: counting quantifiers at fixed rank";
+  row "%-14s %6s | %10s %10s | %10s %10s\n" "target" "n" "plain q=1"
+    "plain q=2" "cnt q=1,t2" "cnt q=1,t3";
+  List.iter
+    (fun n ->
+      let g = Gen.caterpillar ~seed:n ~spine:(n / 2) ~legs:3 in
+      let n_actual = Graph.order g in
+      let lam =
+        Sam.label_with g ~target:(fun v -> Graph.degree g v.(0) >= 3)
+          (Sam.all_tuples g ~k:1)
+      in
+      let plain q = (Brute.solve g ~k:1 ~ell:0 ~q lam).Brute.err in
+      let counting tmax =
+        (Folearn.Erm_counting.solve g ~k:1 ~ell:0 ~q:1 ~tmax lam)
+          .Folearn.Erm_counting.err
+      in
+      row "%-14s %6d | %10.3f %10.3f | %10.3f %10.3f\n" "degree>=3" n_actual
+        (plain 1) (plain 2) (counting 2) (counting 3))
+    [ 12; 20; 32 ];
+  row "\ncounting-type counts (k = 1, q = 1) vs threshold cap:\n";
+  row "%-10s %6s %8s %8s %8s %8s\n" "class" "n" "plain" "t=2" "t=3" "t=4";
+  List.iter
+    (fun (cname, g) ->
+      row "%-10s %6d %8d %8d %8d %8d\n" cname (Graph.order g)
+        (T.count_types g ~q:1 ~k:1)
+        (Modelcheck.Ctypes.count_types g ~q:1 ~tmax:2 ~k:1)
+        (Modelcheck.Ctypes.count_types g ~q:1 ~tmax:3 ~k:1)
+        (Modelcheck.Ctypes.count_types g ~q:1 ~tmax:4 ~k:1))
+    [
+      ("path", Gen.path 14);
+      ("star", Gen.star 14);
+      ("caterp.", Gen.caterpillar ~seed:2 ~spine:7 ~legs:3);
+      ("gnp.3", Gen.gnp ~seed:4 ~n:14 ~p:0.3);
+    ];
+  row
+    "shape check: 'degree >= 3' is inexpressible at plain rank 1 (err > 0) \
+     and needs rank 3 in plain FO, but counting rank 1 with threshold 3 is \
+     exact; counting types strictly refine plain types as the cap grows.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11: sublinear local learning (Grohe-Ritzert predecessor result)    *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  header "E11  sublinear local learner: access independent of |G|";
+  row "%-8s %8s %6s | %9s %9s %10s %9s | %12s\n" "class" "n" "m" "touched"
+    "pool" "local t(s)" "err" "brute t(s)";
+  List.iter
+    (fun (cname, make_g) ->
+      List.iter
+        (fun n ->
+          let g = make_g n in
+          let m = 12 in
+          let w = n / 2 in
+          let lam =
+            Sam.label_with g ~target:(fun v -> Bfs.dist g v.(0) w <= 1)
+              (Sam.random_tuples ~seed:5 g ~k:1 ~m)
+          in
+          let local, t_local =
+            time (fun () ->
+                Folearn.Erm_local.solve ~radius:1 g ~k:1 ~ell:1 ~q:1 lam)
+          in
+          let t_brute =
+            if n <= 200 then
+              Printf.sprintf "%.4f"
+                (snd (time (fun () -> Brute.solve g ~k:1 ~ell:1 ~q:1 lam)))
+            else "(skip)"
+          in
+          row "%-8s %8d %6d | %9d %9d %10.4f %9.3f | %12s\n" cname n m
+            local.Folearn.Erm_local.vertices_touched
+            local.Folearn.Erm_local.pool_size t_local
+            local.Folearn.Erm_local.err t_brute)
+        [ 50; 200; 800; 3200 ])
+    [
+      ("path", Gen.path);
+      ("deg3", fun n -> Gen.random_bounded_degree ~seed:n ~n ~d:3);
+    ];
+  row
+    "shape check: vertices touched and local time stay flat as n grows \
+     16x (they depend on d, m, r only), while the brute-force baseline \
+     scales with n; the sublinear-regime claim of [22] reproduced.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E12: ablations of the Theorem 13 learner's design choices           *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12  ablations: Theorem 13 learner design choices";
+  let eps = 0.125 in
+  let instance seed =
+    let g = Gen.random_tree ~seed 40 in
+    let w = seed mod 40 in
+    let lam =
+      Sam.label_with g ~target:(fun v -> Bfs.dist g v.(0) w <= 1)
+        (Sam.all_tuples g ~k:1)
+    in
+    (g, lam)
+  in
+  let seeds = [ 3; 7; 11; 19; 23 ] in
+  let run ~branch_width ~splitter (g, lam) =
+    let cls =
+      {
+        Splitter.Nowhere_dense.name = "ablation";
+        splitter;
+        s_bound = (fun _ ~r:_ -> 8);
+      }
+    in
+    let cfg =
+      Nd.default_config ~epsilon:eps ~radius:1 ~branch_width ~k:1 ~ell_star:1
+        ~q_star:1 cls
+    in
+    Nd.solve cfg g lam
+  in
+  row "%-28s %10s %10s %10s\n" "variant" "mean err" "max err" "mean t(s)";
+  List.iter
+    (fun (name, branch_width, splitter) ->
+      let errs, times =
+        List.split
+          (List.map
+             (fun seed ->
+               let rep, t = time (fun () -> run ~branch_width ~splitter (instance seed)) in
+               (rep.Nd.err, t))
+             seeds)
+      in
+      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      row "%-28s %10.3f %10.3f %10.3f\n" name (mean errs)
+        (List.fold_left Float.max 0.0 errs)
+        (mean times))
+    [
+      ("full (width 8, min-max-comp)", 8, S.min_max_component);
+      ("greedy only (width 1)", 1, S.min_max_component);
+      ("width 3", 3, S.min_max_component);
+      ("splitter = centre", 8, S.center);
+      ("splitter = top-of-ball", 8, S.top_of_ball);
+    ];
+  row
+    "shape check: the guarantee is robust - even width 1 and weaker \
+     splitter strategies stay within eps of the optimum on trees, at \
+     lower cost; the full variant dominates on error.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E13: MSO on strings - preprocessing-based evaluation ([21])         *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  header "E13  MSO on strings: compile once, evaluate in O(log n)";
+  let module M = Mso.Formula in
+  let module O = Mso.Oracle in
+  let module W = Mso.Word in
+  let module L = Mso.Learner in
+  let sigma = 3 in
+  let phi =
+    M.ExistsPos ("e", M.And [ M.Less ("e", "x"); M.Letter (2, "e") ])
+  in
+  let scope = [ ("x", M.Pos) ] in
+  let dfa = M.compile ~sigma ~scope phi in
+  row "concept: 'some error precedes x' (%d-state track automaton)\n"
+    dfa.Mso.Dfa.states;
+  row "%10s %14s %16s %16s\n" "n" "preproc (ms)" "naive eval (us)"
+    "oracle eval (us)";
+  List.iter
+    (fun n ->
+      let w = W.random ~seed:n ~sigma ~len:n in
+      let oracle, t_pre = time (fun () -> O.make ~sigma dfa w) in
+      let queries = List.init 200 (fun i -> (i * 7919) mod n) in
+      let (), t_naive =
+        time (fun () ->
+            List.iter
+              (fun p -> ignore (O.eval_naive oracle ~marks:[ (p, 1) ]))
+              queries)
+      in
+      let (), t_fast =
+        time (fun () ->
+            List.iter
+              (fun p -> ignore (O.eval_with_marks oracle ~marks:[ (p, 1) ]))
+              queries)
+      in
+      row "%10d %14.1f %16.2f %16.2f\n" n (t_pre *. 1e3)
+        (t_naive *. 1e6 /. 200.0)
+        (t_fast *. 1e6 /. 200.0))
+    [ 1_000; 10_000; 100_000; 1_000_000 ];
+  (* end-to-end string learning *)
+  let catalogue =
+    [
+      { L.name = "letter"; phi = M.Letter (2, "x"); xvars = [ "x" ]; yvars = [] };
+      { L.name = "threshold"; phi = M.Less ("y1", "x"); xvars = [ "x" ]; yvars = [ "y1" ] };
+    ]
+  in
+  row "\nstring learning (hidden threshold concept):\n";
+  row "%10s %8s %10s %12s\n" "n" "m" "err" "time (s)";
+  List.iter
+    (fun n ->
+      let word = W.random ~seed:(n + 1) ~sigma ~len:n in
+      let thr = n / 2 in
+      let examples =
+        List.init 24 (fun i ->
+            let p = (i * 4241) mod n in
+            ([| p |], p > thr))
+      in
+      let res, t =
+        time (fun () -> L.solve ~sigma ~word ~catalogue examples)
+      in
+      match res with
+      | Some r -> row "%10d %8d %10.3f %12.3f\n" n 24 r.L.err t
+      | None -> row "%10d %8d %10s %12.3f\n" n 24 "-" t)
+    [ 200; 800; 3200 ];
+  (* trees: the [19]-style two-pass preprocessing, then O(1) per node *)
+  row "\ntrees: per-node oracle (two passes, then O(1) per query):\n";
+  row "%10s %14s %18s\n" "nodes" "preproc (ms)" "classify-all (ms)";
+  let module Tf = Mso.Tree_formula in
+  let module Tl = Mso.Tree_learner in
+  let tree_phi =
+    Tf.And
+      [
+        Tf.Label (0, "x");
+        Tf.ExistsPos
+          ( "p",
+            Tf.And
+              [ Mso.Tree_formula.Or
+                  [ Tf.Child1 ("p", "x"); Tf.Child2 ("p", "x") ];
+                Tf.Label (1, "p") ] );
+      ]
+  in
+  List.iter
+    (fun n ->
+      let t = Mso.Tree.random ~seed:n ~sigma:2 ~size:n in
+      let oracle, t_pre =
+        time (fun () -> Tl.Node_oracle.make ~sigma:2 tree_phi t)
+      in
+      let (), t_all =
+        time (fun () ->
+            for v = 0 to n - 1 do
+              ignore (Tl.Node_oracle.holds oracle v)
+            done)
+      in
+      row "%10d %14.2f %18.2f\n" n (t_pre *. 1e3) (t_all *. 1e3))
+    [ 1_000; 10_000; 100_000 ];
+  row
+    "shape check: preprocessing is near-linear, per-query evaluation is \
+     logarithmic on strings and O(1) on trees (flat vs the naive O(n) run \
+     growing 1000x); the learner recovers the hidden threshold exactly.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14: preprocessing for repeated learning tasks (conclusion §6)      *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  header "E14  graph preprocessing: one index, many learning tasks";
+  row "%-8s %8s %8s | %12s %14s | %14s\n" "class" "n" "tasks" "build (s)"
+    "per task (ms)" "no index (ms)";
+  List.iter
+    (fun n ->
+      let g = Gen.random_bounded_degree ~seed:n ~n ~d:3 in
+      let tasks =
+        List.init 20 (fun i ->
+            Sam.label_with g
+              ~target:(fun v -> Graph.degree g v.(0) >= (i mod 3) + 1)
+              (Sam.random_tuples ~seed:i g ~k:1 ~m:20))
+      in
+      let idx, t_build =
+        time (fun () -> Folearn.Preindex.build g ~q:1 ~r:1)
+      in
+      let (), t_tasks =
+        time (fun () ->
+            List.iter (fun lam -> ignore (Folearn.Preindex.erm idx lam)) tasks)
+      in
+      let (), t_noindex =
+        time (fun () ->
+            List.iter
+              (fun lam ->
+                ignore (Folearn.Erm_local.solve ~radius:1 g ~k:1 ~ell:0 ~q:1 lam))
+              tasks)
+      in
+      row "%-8s %8d %8d | %12.3f %14.3f | %14.3f\n" "deg3" n 20 t_build
+        (t_tasks *. 1e3 /. 20.0)
+        (t_noindex *. 1e3 /. 20.0))
+    [ 100; 400; 1600 ];
+  row
+    "shape check: after the one-off build, each task costs O(m) (flat in \
+     n); the per-task baseline redoes neighbourhood work every time - the \
+     preprocessing regime the conclusion asks about, on graphs.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let g = Gen.colored ~seed:3 ~colors:[ "Red" ] (Gen.random_tree ~seed:7 64) in
+  let ctx = T.make_ctx g in
+  let phi = Fo.Parser.parse "exists y. E(x1, y) /\\ Red(y)" in
+  let tests =
+    [
+      Test.make ~name:"bfs-ball-r2"
+        (Staged.stage (fun () -> Bfs.ball g ~r:2 [ 31 ]));
+      Test.make ~name:"eval-rank1"
+        (Staged.stage (fun () ->
+             Modelcheck.Eval.holds_tuple g ~vars:[ "x1" ] [| 31 |] phi));
+      Test.make ~name:"tp-q1-cold"
+        (Staged.stage (fun () -> T.tp (T.make_ctx g) ~q:1 [| 31 |]));
+      Test.make ~name:"ltp-q1-r2-memo"
+        (Staged.stage (fun () -> T.ltp ctx ~q:1 ~r:2 [| 31 |]));
+      Test.make ~name:"induced-half"
+        (Staged.stage (fun () -> Ops.induced g (List.init 32 (fun i -> 2 * i))));
+      Test.make ~name:"hintikka-q1"
+        (Staged.stage (fun () ->
+             Modelcheck.Hintikka.of_tuple ~colors:[ "Red" ] g ~q:1 [| 31 |]));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"core" ~fmt:"%s/%s" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some [ t ] -> (name, t) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  row "%-28s %16s\n" "operation" "time/run";
+  List.iter
+    (fun (name, t) ->
+      let pretty =
+        if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.0f ns" t
+      in
+      row "%-28s %16s\n" name pretty)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested;
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,621 @@
+(* folearn_cli: command-line driver for the library.
+
+   Subcommands:
+     learn   learn a first-order query from examples labelled by a target
+     mc      model checking, directly or through the ERM oracle (Thm 1)
+     strings MSO on strings: model checking and learning ([21])
+     trees   MSO on trees: model checking and node concepts ([19])
+     types   print the q-type partition of a graph
+     game    play out the splitter game and print the trace
+
+   Graph specifications (the --graph argument):
+     path:N          cycle:N        clique:N      star:N
+     grid:WxH        tree:N[:SEED]  deg:N:D[:SEED]
+     gnp:N:P[:SEED]  cbt:DEPTH      file:PATH
+   Colours are added with repeatable --color NAME=v1,v2,... options. *)
+
+open Cmdliner
+open Cgraph
+
+(* ------------------------------------------------------------------ *)
+(* Graph specification parsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_graph_spec spec =
+  let fail msg = Error (`Msg msg) in
+  match String.split_on_char ':' spec with
+  | "file" :: rest -> (
+      let path = String.concat ":" rest in
+      try Ok (Io.load path) with
+      | Io.Format_error m -> fail (Printf.sprintf "%s: %s" path m)
+      | Sys_error m -> fail m)
+  | [ "path"; n ] -> Ok (Gen.path (int_of_string n))
+  | [ "cycle"; n ] -> Ok (Gen.cycle (int_of_string n))
+  | [ "clique"; n ] -> Ok (Gen.clique (int_of_string n))
+  | [ "star"; n ] -> Ok (Gen.star (int_of_string n))
+  | [ "cbt"; d ] -> Ok (Gen.complete_binary_tree (int_of_string d))
+  | [ "grid"; wh ] -> (
+      match String.split_on_char 'x' wh with
+      | [ w; h ] -> Ok (Gen.grid (int_of_string w) (int_of_string h))
+      | _ -> fail "grid spec must be grid:WxH")
+  | [ "tree"; n ] -> Ok (Gen.random_tree ~seed:42 (int_of_string n))
+  | [ "tree"; n; seed ] ->
+      Ok (Gen.random_tree ~seed:(int_of_string seed) (int_of_string n))
+  | [ "deg"; n; d ] ->
+      Ok (Gen.random_bounded_degree ~seed:42 ~n:(int_of_string n) ~d:(int_of_string d))
+  | [ "deg"; n; d; seed ] ->
+      Ok
+        (Gen.random_bounded_degree ~seed:(int_of_string seed)
+           ~n:(int_of_string n) ~d:(int_of_string d))
+  | [ "gnp"; n; p ] ->
+      Ok (Gen.gnp ~seed:42 ~n:(int_of_string n) ~p:(float_of_string p))
+  | [ "gnp"; n; p; seed ] ->
+      Ok
+        (Gen.gnp ~seed:(int_of_string seed) ~n:(int_of_string n)
+           ~p:(float_of_string p))
+  | _ -> fail (Printf.sprintf "unknown graph spec %S (see --help)" spec)
+
+let graph_conv =
+  let parser s = try parse_graph_spec s with _ -> Error (`Msg "bad graph spec") in
+  let printer ppf _ = Format.fprintf ppf "<graph>" in
+  Arg.conv (parser, printer)
+
+let parse_color s =
+  match String.index_opt s '=' with
+  | None -> Error (`Msg "colour must be NAME=v1,v2,...")
+  | Some i ->
+      let name = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let members =
+        if rest = "" then []
+        else List.map int_of_string (String.split_on_char ',' rest)
+      in
+      Ok (name, members)
+
+let color_conv =
+  let parser s = try parse_color s with _ -> Error (`Msg "bad colour spec") in
+  let printer ppf (name, _) = Format.fprintf ppf "%s=..." name in
+  Arg.conv (parser, printer)
+
+let formula_conv =
+  let parser s =
+    match Fo.Parser.parse_opt s with
+    | Some f -> Ok f
+    | None -> (
+        try
+          ignore (Fo.Parser.parse s);
+          assert false
+        with Fo.Parser.Parse_error m -> Error (`Msg m))
+  in
+  Arg.conv (parser, (fun ppf f -> Fo.Formula.pp ppf f))
+
+(* common args *)
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some graph_conv) None
+    & info [ "g"; "graph" ] ~docv:"SPEC"
+        ~doc:"Background graph, e.g. path:10, tree:30:7, grid:4x5, gnp:20:0.3.")
+
+let colors_arg =
+  Arg.(
+    value & opt_all color_conv []
+    & info [ "c"; "color" ] ~docv:"NAME=V,V"
+        ~doc:"Add a colour class (repeatable), e.g. --color Red=0,3,6.")
+
+let with_cli_colors g colors = Graph.with_colors g colors
+
+(* ------------------------------------------------------------------ *)
+(* learn                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let learn_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & opt (some formula_conv) None
+      & info [ "t"; "target" ] ~docv:"FORMULA"
+          ~doc:
+            "Hidden target query over x1..xk (used only to label the \
+             training data).")
+  in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Arity of examples.") in
+  let ell_arg =
+    Arg.(value & opt int 0 & info [ "l"; "ell" ] ~doc:"Parameter budget.")
+  in
+  let q_arg =
+    Arg.(value & opt int 1 & info [ "q" ] ~doc:"Quantifier-rank budget.")
+  in
+  let solver_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("brute", `Brute); ("nd", `Nd); ("counting", `Counting);
+               ("local", `Local);
+             ])
+          `Brute
+      & info [ "solver" ]
+          ~doc:
+            "ERM solver: $(b,brute) (Prop 11, exact), $(b,nd) (Theorem 13, \
+             nowhere dense), $(b,counting) (FOC extension), or $(b,local) \
+             (sublinear local access).")
+  in
+  let tmax_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "tmax" ]
+          ~doc:"Counting-threshold cap for $(b,--solver counting).")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.0 & info [ "noise" ] ~doc:"Label-flip probability.")
+  in
+  let m_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "m" ]
+          ~doc:"Sample size (0 = label every tuple of the graph).")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run g colors target k ell q solver tmax noise m seed =
+    let g = with_cli_colors g colors in
+    let module Sam = Folearn.Sample in
+    let xvars = Folearn.Hypothesis.xvars k in
+    List.iter
+      (fun v ->
+        if not (List.mem v xvars) then begin
+          Format.eprintf
+            "folearn learn: the target may only use x1..x%d free, found %s@."
+            k v;
+          exit 2
+        end)
+      (Fo.Formula.free_vars target);
+    let tuples =
+      if m = 0 then Sam.all_tuples g ~k else Sam.random_tuples ~seed g ~k ~m
+    in
+    let lam =
+      Sam.label_with_query g ~formula:target ~xvars tuples
+      |> fun l -> if noise > 0.0 then Sam.flip_noise ~seed ~p:noise l else l
+    in
+    Format.printf "training sequence: %d examples (%d positive)@."
+      (Sam.size lam)
+      (List.length (Sam.positives lam));
+    (match solver with
+    | `Brute ->
+        let r = Folearn.Erm_brute.solve g ~k ~ell ~q lam in
+        Format.printf "solver: Prop 11 exact ERM (tried %d parameter tuples)@."
+          r.Folearn.Erm_brute.params_tried;
+        Format.printf "training error: %.4f@." r.Folearn.Erm_brute.err;
+        Format.printf "%a@." Folearn.Hypothesis.pp r.Folearn.Erm_brute.hypothesis
+    | `Nd ->
+        let cls = Splitter.Nowhere_dense.of_graph "cli" g in
+        let cfg =
+          Folearn.Erm_nd.default_config ~radius:1 ~k ~ell_star:(max 1 ell)
+            ~q_star:q cls
+        in
+        let rep = Folearn.Erm_nd.solve cfg g lam in
+        Format.printf
+          "solver: Theorem 13 (rounds %d, branches %d, ell used %d, rank %d)@."
+          (List.length rep.Folearn.Erm_nd.rounds)
+          rep.Folearn.Erm_nd.branches_explored rep.Folearn.Erm_nd.ell_used
+          rep.Folearn.Erm_nd.q_used;
+        Format.printf "training error: %.4f@." rep.Folearn.Erm_nd.err;
+        Format.printf "parameters: %a@." Graph.Tuple.pp
+          (Folearn.Hypothesis.params rep.Folearn.Erm_nd.hypothesis)
+    | `Counting ->
+        let r = Folearn.Erm_counting.solve g ~k ~ell ~q ~tmax lam in
+        Format.printf
+          "solver: exact counting ERM (FOC, thresholds <= %d; tried %d \
+           parameter tuples)@."
+          tmax r.Folearn.Erm_counting.params_tried;
+        Format.printf "training error: %.4f@." r.Folearn.Erm_counting.err;
+        Format.printf "%a@." Folearn.Hypothesis.pp
+          r.Folearn.Erm_counting.hypothesis
+    | `Local ->
+        let r = Folearn.Erm_local.solve g ~k ~ell ~q lam in
+        Format.printf
+          "solver: sublinear local learner (pool %d, touched %d of %d \
+           vertices)@."
+          r.Folearn.Erm_local.pool_size r.Folearn.Erm_local.vertices_touched
+          (Graph.order g);
+        Format.printf "training error: %.4f@." r.Folearn.Erm_local.err;
+        Format.printf "parameters: %a@." Graph.Tuple.pp
+          (Folearn.Hypothesis.params r.Folearn.Erm_local.hypothesis));
+    0
+  in
+  let term =
+    Term.(
+      const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
+      $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mc                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mc_cmd =
+  let formula_arg =
+    Arg.(
+      required
+      & opt (some formula_conv) None
+      & info [ "f"; "formula" ] ~docv:"SENTENCE" ~doc:"Sentence to check.")
+  in
+  let via_erm_arg =
+    Arg.(
+      value & flag
+      & info [ "via-erm" ]
+          ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
+  in
+  let run g colors phi via_erm =
+    let g = with_cli_colors g colors in
+    if via_erm then begin
+      let verdict, stats =
+        Folearn.Reduction.model_check ~oracle:Folearn.Reduction.exact_oracle g
+          phi
+      in
+      Format.printf "%b@." verdict;
+      Format.printf
+        "(oracle calls: %d, recursion nodes: %d, representative sets: [%s])@."
+        stats.Folearn.Reduction.oracle_calls
+        stats.Folearn.Reduction.recursion_nodes
+        (String.concat "; "
+           (List.map string_of_int
+              stats.Folearn.Reduction.representative_sets))
+    end
+    else Format.printf "%b@." (Modelcheck.Eval.sentence g phi);
+    0
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"First-order model checking (direct or via Theorem 1).")
+    Term.(const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg)
+
+(* ------------------------------------------------------------------ *)
+(* types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let types_cmd =
+  let q_arg = Arg.(value & opt int 1 & info [ "q" ] ~doc:"Quantifier rank.") in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Tuple arity.") in
+  let hintikka_arg =
+    Arg.(
+      value & flag
+      & info [ "hintikka" ] ~doc:"Also print one Hintikka formula per class.")
+  in
+  let run g colors q k hintikka =
+    let g = with_cli_colors g colors in
+    let ctx = Modelcheck.Types.make_ctx g in
+    let classes =
+      Modelcheck.Types.partition_by_tp ctx ~q
+        (Graph.Tuple.all ~n:(Graph.order g) ~k)
+    in
+    Format.printf "%d distinct tp_%d classes of %d-tuples on %d vertices@."
+      (List.length classes) q k (Graph.order g);
+    List.iteri
+      (fun i (ty, members) ->
+        Format.printf "class %d (%a): %d tuples, e.g. %a@." i
+          Modelcheck.Types.pp ty (List.length members) Graph.Tuple.pp
+          (List.hd members);
+        if hintikka then
+          Format.printf "  %a@." Fo.Formula.pp
+            (Modelcheck.Hintikka.of_type ~colors:(Graph.color_names g) ty))
+      classes;
+    0
+  in
+  Cmd.v
+    (Cmd.info "types" ~doc:"Print the q-type partition of the graph.")
+    Term.(const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg)
+
+(* ------------------------------------------------------------------ *)
+(* game                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let game_cmd =
+  let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~doc:"Game radius.") in
+  let run g colors r =
+    let g = with_cli_colors g colors in
+    let tr =
+      Splitter.Game.trace g ~r
+        ~connector:(Splitter.Strategy.connector_max_ball ~r)
+        ~splitter:Splitter.Strategy.best_heuristic
+    in
+    List.iteri
+      (fun i (v, w, remaining) ->
+        Format.printf
+          "round %d: Connector -> %d, Splitter -> %d, arena %d vertices@."
+          (i + 1) v w remaining)
+      tr;
+    (match List.rev tr with
+    | (_, _, 0) :: _ -> Format.printf "Splitter wins in %d rounds@." (List.length tr)
+    | _ -> Format.printf "no win within the round cap@.");
+    0
+  in
+  Cmd.v
+    (Cmd.info "game" ~doc:"Play out the (r, s)-splitter game.")
+    Term.(const run $ graph_arg $ colors_arg $ r_arg)
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Write the graph to a file (default: stdout).")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz instead.")
+  in
+  let run g colors out dot =
+    let g = with_cli_colors g colors in
+    let text = if dot then Graph.to_dot g else Io.to_string g in
+    (match out with
+    | Some path ->
+        if dot then Out_channel.with_open_text path (fun oc -> output_string oc text)
+        else Io.save path g
+    | None -> print_string text);
+    0
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Generate a graph from a spec and print or save it.")
+    Term.(const run $ graph_arg $ colors_arg $ out_arg $ dot_arg)
+
+
+(* ------------------------------------------------------------------ *)
+(* strings                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strings_cmd =
+  let word_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "word" ] ~docv:"WORD" ~doc:"The background string.")
+  in
+  let alphabet_arg =
+    Arg.(
+      value & opt string "ab"
+      & info [ "alphabet" ] ~docv:"LETTERS"
+          ~doc:"Alphabet, one character per letter (default ab).")
+  in
+  let sentence_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "formula" ] ~docv:"SENTENCE"
+          ~doc:"MSO sentence to model-check against the word.")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "target" ] ~docv:"FORMULA"
+          ~doc:
+            "Unary MSO target phi(x): label every position, then learn it \
+             back from the catalogue.")
+  in
+  let hyp_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "hyp" ] ~docv:"FORMULA"
+          ~doc:
+            "Catalogue hypothesis phi(x; y1...) (repeatable; free \
+             variables besides x become position parameters).")
+  in
+  let regex_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "regex" ] ~docv:"REGEX"
+          ~doc:
+            "Regular expression to match against the word (Glushkov \
+             compilation; '|', '*', '+', '?', parentheses).")
+  in
+  let run word alphabet sentence target hyps regex =
+    let letters = List.init (String.length alphabet) (fun i -> String.make 1 alphabet.[i]) in
+    let sigma = List.length letters in
+    let w =
+      try Mso.Word.of_string ~alphabet word
+      with Invalid_argument m ->
+        Format.eprintf "folearn strings: %s@." m;
+        exit 2
+    in
+    let parse src =
+      try Mso.Parser.parse ~letters src
+      with Mso.Parser.Parse_error m ->
+        Format.eprintf "folearn strings: %s@." m;
+        exit 2
+    in
+    (match regex with
+    | Some src ->
+        let r =
+          try Mso.Regex.of_string ~letters src
+          with Mso.Regex.Parse_error m ->
+            Format.eprintf "folearn strings: %s@." m;
+            exit 2
+        in
+        let dfa = Mso.Regex.to_dfa ~sigma r in
+        Format.printf "%b  (regex automaton: %d states)@."
+          (Mso.Dfa.accepts dfa w) dfa.Mso.Dfa.states
+    | None -> ());
+    (match sentence with
+    | Some src ->
+        let phi = parse src in
+        if Mso.Formula.free phi <> [] then begin
+          Format.eprintf "folearn strings: -f needs a sentence@.";
+          exit 2
+        end;
+        let dfa = Mso.Formula.language ~sigma phi in
+        Format.printf "%b  (automaton: %d states)@."
+          (Mso.Dfa.accepts dfa w) dfa.Mso.Dfa.states
+    | None -> ());
+    (match target with
+    | Some src ->
+        let tphi = parse src in
+        (match Mso.Formula.free tphi with
+        | [ ("x", Mso.Formula.Pos) ] -> ()
+        | _ ->
+            Format.eprintf "folearn strings: -t needs exactly x free@.";
+            exit 2);
+        let scope = [ ("x", Mso.Formula.Pos) ] in
+        let tdfa = Mso.Formula.compile ~sigma ~scope tphi in
+        let examples =
+          List.init (Array.length w) (fun p ->
+              ( [| p |],
+                Mso.Formula.holds_compiled ~sigma ~scope tdfa w
+                  { Mso.Formula.pos = [ ("x", p) ]; sets = [] } ))
+        in
+        let catalogue =
+          List.mapi
+            (fun i src ->
+              let phi = parse src in
+              let yvars =
+                List.filter_map
+                  (fun (v, k) ->
+                    if v <> "x" && k = Mso.Formula.Pos then Some v else None)
+                  (Mso.Formula.free phi)
+              in
+              {
+                Mso.Learner.name = Printf.sprintf "hyp%d: %s" (i + 1) src;
+                phi;
+                xvars = [ "x" ];
+                yvars;
+              })
+            hyps
+        in
+        if catalogue = [] then begin
+          Format.eprintf "folearn strings: -t needs at least one --hyp@.";
+          exit 2
+        end;
+        (match Mso.Learner.solve ~sigma ~word:w ~catalogue examples with
+        | Some r ->
+            Format.printf
+              "learned %S, parameters [%s], training error %.3f (%d oracle \
+               evaluations)@."
+              r.Mso.Learner.entry.Mso.Learner.name
+              (String.concat ";"
+                 (List.map string_of_int (Array.to_list r.Mso.Learner.params)))
+              r.Mso.Learner.err r.Mso.Learner.evaluations
+        | None -> Format.printf "empty catalogue@.")
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "strings"
+       ~doc:"MSO on strings: model checking and learning (related work [21]).")
+    Term.(
+      const run $ word_arg $ alphabet_arg $ sentence_arg $ target_arg
+      $ hyp_arg $ regex_arg)
+
+
+(* ------------------------------------------------------------------ *)
+(* trees                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trees_cmd =
+  let tree_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tree" ] ~docv:"TERM"
+          ~doc:"The background tree in term syntax, e.g. 1(0(1),1(0,0)).")
+  in
+  let labels_arg =
+    Arg.(
+      value & opt string "ab"
+      & info [ "labels" ] ~docv:"NAMES"
+          ~doc:
+            "Label names, one character per label id (default ab: a = 0, \
+             b = 1).")
+  in
+  let formula_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "formula" ] ~docv:"SENTENCE"
+          ~doc:"MSO sentence to model-check against the tree.")
+  in
+  let concept_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "concept" ] ~docv:"FORMULA"
+          ~doc:
+            "Unary MSO concept phi(x): classify every node with the \
+             two-pass oracle and print the satisfying nodes.")
+  in
+  let run tree_src labels formula concept =
+    let label_names =
+      List.init (String.length labels) (fun i -> String.make 1 labels.[i])
+    in
+    let sigma = List.length label_names in
+    let tree =
+      try Mso.Tree.of_string tree_src
+      with Mso.Tree.Parse_error m ->
+        Format.eprintf "folearn trees: %s@." m;
+        exit 2
+    in
+    (try Mso.Tree.check_labels ~sigma tree
+     with Invalid_argument m ->
+       Format.eprintf "folearn trees: %s@." m;
+       exit 2);
+    let parse src =
+      try Mso.Tree_parser.parse ~labels:label_names src
+      with Mso.Tree_parser.Parse_error m ->
+        Format.eprintf "folearn trees: %s@." m;
+        exit 2
+    in
+    (match formula with
+    | Some src ->
+        let phi = parse src in
+        if Mso.Tree_formula.free phi <> [] then begin
+          Format.eprintf "folearn trees: -f needs a sentence@.";
+          exit 2
+        end;
+        let ta = Mso.Tree_formula.compile ~sigma ~scope:[] phi in
+        Format.printf "%b@." (Mso.Tree_automaton.accepts ta tree)
+    | None -> ());
+    (match concept with
+    | Some src ->
+        let phi = parse src in
+        let oracle =
+          try Mso.Tree_learner.Node_oracle.make ~sigma phi tree
+          with Invalid_argument m ->
+            Format.eprintf "folearn trees: %s@." m;
+            exit 2
+        in
+        let hits =
+          List.filter
+            (fun (id, _) -> Mso.Tree_learner.Node_oracle.holds oracle id)
+            (Mso.Tree.nodes tree)
+        in
+        Format.printf "satisfying nodes (preorder ids): [%s]@."
+          (String.concat "; " (List.map (fun (id, _) -> string_of_int id) hits))
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "trees"
+       ~doc:"MSO on trees: model checking and node concepts (related work [19]).")
+    Term.(const run $ tree_arg $ labels_arg $ formula_arg $ concept_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "learning first-order queries (PODS 2022 reproduction)" in
+  let info = Cmd.info "folearn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            learn_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd; strings_cmd;
+            trees_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/degree_counting.ml: Array Cgraph Fo Folearn Format Gen Graph List Printf

@@ -1,0 +1,1 @@
+examples/model_checking_via_learning.ml: Cgraph Fo Folearn Format Gen Graph List Modelcheck String

@@ -1,0 +1,1 @@
+examples/mso_strings.ml: Array Format List Mso String Unix

@@ -1,0 +1,1 @@
+examples/mso_strings.mli:

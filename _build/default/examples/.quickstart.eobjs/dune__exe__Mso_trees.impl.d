@@ -1,0 +1,1 @@
+examples/mso_trees.ml: Format List Mso Unix

@@ -1,0 +1,1 @@
+examples/pac_social_network.mli:

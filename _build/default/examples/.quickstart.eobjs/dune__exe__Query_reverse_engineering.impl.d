@@ -1,0 +1,1 @@
+examples/query_reverse_engineering.ml: Array Cgraph Fo Folearn Format Graph List Modelcheck Splitter

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cgraph Fo Folearn Format Gen Graph List

@@ -1,0 +1,1 @@
+examples/relational_database.ml: Array Cgraph Folearn Format Graph List Modelcheck

@@ -1,0 +1,1 @@
+examples/splitter_playground.ml: Cgraph Format Gen Graph List Splitter

@@ -1,0 +1,1 @@
+examples/splitter_playground.mli:

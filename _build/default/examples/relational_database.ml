@@ -1,0 +1,121 @@
+(* Learning over a real relational database instance.
+
+   The paper states its results for coloured graphs and notes that
+   arbitrary relational structures are covered "by coding relational
+   structures as graphs" (Section 2).  This demo runs that pipeline end
+   to end:
+
+     relational DB --encode--> coloured graph --ERM--> recovered query
+
+   Run with:  dune exec examples/relational_database.exe *)
+
+open Cgraph
+module R = Modelcheck.Relational
+module Sam = Folearn.Sample
+module Brute = Folearn.Erm_brute
+
+(* a streaming-service database *)
+let people = [ (0, "ada"); (1, "ben"); (2, "cleo"); (3, "dan") ]
+let movies = [ (4, "solaris"); (5, "stalker"); (6, "alien"); (7, "arrival") ]
+let directors = [ (8, "tarkovsky"); (9, "scott"); (10, "villeneuve") ]
+
+let name v =
+  try List.assoc v (people @ movies @ directors)
+  with Not_found -> string_of_int v
+
+let db =
+  R.create ~n:11
+    ~relations:
+      [
+        ( "Watched", 2,
+          [
+            [| 0; 4 |]; [| 0; 5 |]; [| 1; 6 |]; [| 2; 5 |]; [| 2; 7 |];
+            [| 3; 6 |]; [| 3; 7 |];
+          ] );
+        ("DirectedBy", 2, [ [| 4; 8 |]; [| 5; 8 |]; [| 6; 9 |]; [| 7; 10 |] ]);
+        ("Person", 1, List.map (fun (v, _) -> [| v |]) people);
+        ("SciFi", 1, [ [| 6 |]; [| 7 |] ]);
+      ]
+
+let () =
+  Format.printf "%a@." R.pp db;
+
+  let enc = R.encode db in
+  Format.printf
+    "Encoded as a coloured graph: %d vertices, %d edges, max degree %d@."
+    (Graph.order enc.R.graph) (Graph.size enc.R.graph)
+    (Graph.max_degree enc.R.graph);
+  Format.printf
+    "(the encoding keeps the structure sparse - this is why the paper's@.\
+    \ nowhere-dense results carry over to databases)@.@.";
+
+  (* The analyst's hidden intent: "x watched a Tarkovsky film".  They
+     only mark four people. *)
+  let intent =
+    R.RExists
+      ( "m",
+        R.RAnd
+          [
+            R.RAtom ("Watched", [ "x1"; "m" ]);
+            R.RExists
+              ( "d",
+                R.RAnd
+                  [
+                    R.RAtom ("DirectedBy", [ "m"; "d" ]);
+                    R.REq ("d", "d");
+                  ] );
+            R.RAtom ("DirectedBy", [ "m"; "tark" ]);
+          ] )
+  in
+  ignore intent;
+  (* simpler to express with the director as a learned *parameter*:
+     target(x) = exists m. Watched(x, m) /\ DirectedBy(m, y1) with the
+     hidden constant y1 = tarkovsky. *)
+  let target_graph_formula =
+    R.translate
+      (R.RExists
+         ( "m",
+           R.RAnd
+             [
+               R.RAtom ("Watched", [ "x1"; "m" ]);
+               R.RAtom ("DirectedBy", [ "m"; "y1" ]);
+             ] ))
+  in
+  let tark = enc.R.element 8 in
+  let person_tuples = List.map (fun (v, _) -> [| enc.R.element v |]) people in
+  let lam =
+    Sam.label_with_query enc.R.graph ~formula:target_graph_formula
+      ~xvars:[ "x1" ] ~yvars:[ "y1" ] ~params:[| tark |] person_tuples
+  in
+  Format.printf "Analyst feedback:@.";
+  List.iter
+    (fun (t, l) ->
+      Format.printf "  %-6s -> %s@." (name t.(0))
+        (if l then "relevant" else "irrelevant"))
+    lam;
+
+  (* Learn over the encoded graph with one parameter allowed.  Through
+     the incidence encoding, "x watched a w-movie" is a radius-2 pattern
+     around the pair (x, w) (person - fact - movie - fact - director),
+     so rank-2 local types at radius 2 separate the labels; the local
+     learner finds the hidden director as the parameter. *)
+  let result =
+    Folearn.Erm_local.solve ~radius:2 enc.R.graph ~k:1 ~ell:1 ~q:2 lam
+  in
+  let hyp = result.Folearn.Erm_local.hypothesis in
+  let params = Folearn.Hypothesis.params hyp in
+  Format.printf "@.Recovered: training error %.3f, parameter = %s@."
+    result.Folearn.Erm_local.err
+    (if Array.length params = 1 then name params.(0) else "(none)");
+  if Array.length params = 1 && params.(0) <> tark then
+    Format.printf
+      "(ERM only promises *a* consistent hypothesis - here a pattern@.\
+      \ anchored at %s fits the four labels just as well as the@.\
+      \ hidden tarkovsky constant does)@."
+      (name params.(0));
+
+  (* validate against the intent on everyone *)
+  let agree =
+    List.for_all (fun (t, l) -> Folearn.Hypothesis.predict hyp t = l) lam
+  in
+  Format.printf "Consistent with all feedback: %b@." agree

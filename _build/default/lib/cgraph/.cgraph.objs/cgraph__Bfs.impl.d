@@ -1,0 +1,1 @@
+lib/cgraph/bfs.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/cgraph/bfs.mli: Graph

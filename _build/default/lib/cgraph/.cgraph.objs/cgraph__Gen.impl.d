@@ -1,0 +1,1 @@
+lib/cgraph/gen.ml: Array Fun Graph Hashtbl List Random

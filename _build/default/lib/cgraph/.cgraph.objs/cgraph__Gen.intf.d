@@ -1,0 +1,1 @@
+lib/cgraph/gen.mli: Graph

@@ -1,0 +1,1 @@
+lib/cgraph/graph.ml: Array Buffer Format Fun List Map Printf String

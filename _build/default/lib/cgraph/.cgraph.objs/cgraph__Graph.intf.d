@@ -1,0 +1,1 @@
+lib/cgraph/graph.mli: Format

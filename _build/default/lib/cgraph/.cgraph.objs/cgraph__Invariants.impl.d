@@ -1,0 +1,1 @@
+lib/cgraph/invariants.ml: Array Bfs Graph List Ops Queue

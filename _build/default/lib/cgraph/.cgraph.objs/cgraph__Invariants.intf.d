@@ -1,0 +1,1 @@
+lib/cgraph/invariants.mli: Graph

@@ -1,0 +1,1 @@
+lib/cgraph/io.ml: Buffer Fun Graph Hashtbl List Printf String

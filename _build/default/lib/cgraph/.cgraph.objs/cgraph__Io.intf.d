@@ -1,0 +1,1 @@
+lib/cgraph/io.mli: Graph

@@ -1,0 +1,1 @@
+lib/cgraph/ops.ml: Array Bfs Fun Graph Hashtbl List

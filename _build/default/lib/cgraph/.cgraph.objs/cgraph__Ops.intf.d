@@ -1,0 +1,1 @@
+lib/cgraph/ops.mli: Graph

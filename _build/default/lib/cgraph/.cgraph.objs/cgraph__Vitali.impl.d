@@ -1,0 +1,1 @@
+lib/cgraph/vitali.ml: Array Bfs Graph List

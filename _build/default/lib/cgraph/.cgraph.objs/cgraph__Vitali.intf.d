@@ -1,0 +1,1 @@
+lib/cgraph/vitali.mli: Graph

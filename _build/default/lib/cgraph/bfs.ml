@@ -1,0 +1,107 @@
+let infinity = max_int / 4
+
+let distances_multi g srcs =
+  let n = Graph.order g in
+  let dist = Array.make n infinity in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = infinity then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    srcs;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    let du = dist.(u) in
+    Array.iter
+      (fun v ->
+        if dist.(v) = infinity then begin
+          dist.(v) <- du + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let distances g src = distances_multi g [ src ]
+
+let dist g u v =
+  (* early-exit BFS from the lower-degree endpoint *)
+  if u = v then 0
+  else begin
+    let n = Graph.order g in
+    let dist_arr = Array.make n infinity in
+    let queue = Queue.create () in
+    dist_arr.(u) <- 0;
+    Queue.add u queue;
+    let result = ref infinity in
+    (try
+       while not (Queue.is_empty queue) do
+         let x = Queue.take queue in
+         Array.iter
+           (fun y ->
+             if dist_arr.(y) = infinity then begin
+               dist_arr.(y) <- dist_arr.(x) + 1;
+               if y = v then begin
+                 result := dist_arr.(y);
+                 raise Exit
+               end;
+               Queue.add y queue
+             end)
+           (Graph.neighbors g x)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let dist_tuple g a b =
+  if Array.length a = 0 || Array.length b = 0 then infinity
+  else begin
+    let d = distances_multi g (Array.to_list a) in
+    Array.fold_left (fun acc v -> min acc d.(v)) infinity b
+  end
+
+let ball g ~r srcs =
+  if r < 0 then invalid_arg "Bfs.ball: negative radius";
+  let d = distances_multi g srcs in
+  let acc = ref [] in
+  for v = Graph.order g - 1 downto 0 do
+    if d.(v) <= r then acc := v :: !acc
+  done;
+  !acc
+
+let ball_tuple g ~r t = ball g ~r (Array.to_list t)
+
+let eccentricity g v =
+  let d = distances g v in
+  Array.fold_left (fun acc x -> if x < infinity then max acc x else acc) 0 d
+
+let within g ~r u v =
+  if u = v then r >= 0
+  else begin
+    let n = Graph.order g in
+    let dist_arr = Array.make n infinity in
+    let queue = Queue.create () in
+    dist_arr.(u) <- 0;
+    Queue.add u queue;
+    let found = ref false in
+    (try
+       while not (Queue.is_empty queue) do
+         let x = Queue.take queue in
+         if dist_arr.(x) >= r then raise Exit;
+         Array.iter
+           (fun y ->
+             if dist_arr.(y) = infinity then begin
+               dist_arr.(y) <- dist_arr.(x) + 1;
+               if y = v then begin
+                 found := true;
+                 raise Exit
+               end;
+               Queue.add y queue
+             end)
+           (Graph.neighbors g x)
+       done
+     with Exit -> ());
+    !found
+  end

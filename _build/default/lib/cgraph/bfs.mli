@@ -1,0 +1,39 @@
+(** Breadth-first search: distances and [r]-neighbourhoods.
+
+    Distances follow Section 2 of the paper: [dist(u, v)] is the length of a
+    shortest path; the distance from a vertex to a tuple (or set) is the
+    minimum over its entries; the distance between two unreachable vertices
+    is {!infinity}. *)
+
+val infinity : int
+(** Sentinel distance for unreachable vertices (larger than any real
+    distance in any graph). *)
+
+val distances : Graph.t -> Graph.vertex -> int array
+(** [distances g src] gives the distance from [src] to every vertex
+    ({!infinity} for unreachable ones). *)
+
+val distances_multi : Graph.t -> Graph.vertex list -> int array
+(** Multi-source distances: [dist(v, S)] for every [v] (all {!infinity}
+    when [S] is empty). *)
+
+val dist : Graph.t -> Graph.vertex -> Graph.vertex -> int
+(** Pairwise distance. *)
+
+val dist_tuple : Graph.t -> Graph.Tuple.t -> Graph.Tuple.t -> int
+(** [dist(ū, v̄) = min over entries] (paper, Section 2).  {!infinity} if
+    either tuple is empty or they lie in different components. *)
+
+val ball : Graph.t -> r:int -> Graph.vertex list -> Graph.vertex list
+(** [ball g ~r srcs] is the [r]-neighbourhood [N_r(srcs)]: all vertices at
+    distance at most [r] from some source, sorted increasingly.  Includes
+    the sources themselves (distance 0). *)
+
+val ball_tuple : Graph.t -> r:int -> Graph.Tuple.t -> Graph.vertex list
+(** [N_r(ū)] for a tuple. *)
+
+val eccentricity : Graph.t -> Graph.vertex -> int
+(** Largest finite distance from the vertex. *)
+
+val within : Graph.t -> r:int -> Graph.vertex -> Graph.vertex -> bool
+(** [within g ~r u v] iff [dist(u,v) <= r]; stops the search early. *)

@@ -1,0 +1,164 @@
+let path n =
+  Graph.create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1))) ~colors:[]
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  let edges = (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.create ~n ~edges ~colors:[]
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1))) ~colors:[]
+
+let clique n =
+  let edges =
+    List.concat (List.init n (fun i -> List.init i (fun j -> (j, i))))
+  in
+  Graph.create ~n ~edges ~colors:[]
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Gen.grid: need positive dimensions";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Graph.create ~n:(w * h) ~edges:!edges ~colors:[]
+
+let complete_binary_tree depth =
+  if depth < 0 then invalid_arg "Gen.complete_binary_tree: negative depth";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           let kids = [ (2 * i) + 1; (2 * i) + 2 ] in
+           List.filter_map (fun k -> if k < n then Some (i, k) else None) kids))
+  in
+  Graph.create ~n ~edges ~colors:[]
+
+let random_tree ~seed n =
+  if n < 1 then invalid_arg "Gen.random_tree: need n >= 1";
+  let st = Random.State.make [| seed; 0x7ee |] in
+  let edges =
+    List.init (n - 1) (fun i ->
+        let v = i + 1 in
+        (Random.State.int st v, v))
+  in
+  Graph.create ~n ~edges ~colors:[]
+
+let caterpillar ~seed ~spine ~legs =
+  if spine < 1 then invalid_arg "Gen.caterpillar: need spine >= 1";
+  let st = Random.State.make [| seed; 0xca7 |] in
+  let next = ref spine in
+  let edges = ref (List.init (spine - 1) (fun i -> (i, i + 1))) in
+  for s = 0 to spine - 1 do
+    let k = if legs = 0 then 0 else Random.State.int st (legs + 1) in
+    for _ = 1 to k do
+      edges := (s, !next) :: !edges;
+      incr next
+    done
+  done;
+  Graph.create ~n:!next ~edges:!edges ~colors:[]
+
+let random_bounded_degree ~seed ~n ~d =
+  if d < 0 then invalid_arg "Gen.random_bounded_degree: negative degree bound";
+  let st = Random.State.make [| seed; 0xb0d |] in
+  let deg = Array.make n 0 in
+  let edges = ref [] in
+  let have = Hashtbl.create (n * d) in
+  let attempts = n * d * 4 in
+  for _ = 1 to attempts do
+    if n >= 2 then begin
+      let u = Random.State.int st n and v = Random.State.int st n in
+      let u, v = (min u v, max u v) in
+      if u <> v && deg.(u) < d && deg.(v) < d && not (Hashtbl.mem have (u, v))
+      then begin
+        Hashtbl.replace have (u, v) ();
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        edges := (u, v) :: !edges
+      end
+    end
+  done;
+  Graph.create ~n ~edges:!edges ~colors:[]
+
+let ktree ~seed ~k ~n =
+  if k < 1 then invalid_arg "Gen.ktree: need k >= 1";
+  if n < k + 1 then invalid_arg "Gen.ktree: need n >= k+1";
+  let st = Random.State.make [| seed; 0x27ee |] in
+  (* cliques: list of k-subsets available for attachment *)
+  let base = List.init (k + 1) Fun.id in
+  let edges = ref [] in
+  List.iteri
+    (fun i u -> List.iteri (fun j v -> if i < j then edges := (u, v) :: !edges) base)
+    base;
+  let rec k_subsets = function
+    | _, 0 -> [ [] ]
+    | [], _ -> []
+    | x :: rest, j ->
+        List.map (fun s -> x :: s) (k_subsets (rest, j - 1)) @ k_subsets (rest, j)
+  in
+  let cliques = ref (Array.of_list (k_subsets (base, k))) in
+  for v = k + 1 to n - 1 do
+    let c = (!cliques).(Random.State.int st (Array.length !cliques)) in
+    List.iter (fun u -> edges := (u, v) :: !edges) c;
+    (* new k-cliques: v with each (k-1)-subset of c *)
+    let fresh =
+      List.map
+        (fun drop -> v :: List.filter (fun u -> u <> drop) c)
+        c
+    in
+    cliques := Array.append !cliques (Array.of_list fresh)
+  done;
+  Graph.create ~n ~edges:!edges ~colors:[]
+
+let partial_ktree ~seed ~k ~n ~keep =
+  if keep < 0.0 || keep > 1.0 then invalid_arg "Gen.partial_ktree: bad keep";
+  let g = ktree ~seed ~k ~n in
+  let st = Random.State.make [| seed; 0x97c |] in
+  let edges =
+    List.filter (fun _ -> Random.State.float st 1.0 < keep) (Graph.edges g)
+  in
+  Graph.create ~n ~edges ~colors:[]
+
+let gnp ~seed ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.gnp: probability out of range";
+  let st = Random.State.make [| seed; 0x69b |] in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges ~colors:[]
+
+let colored ~seed ~colors g =
+  let st = Random.State.make [| seed; 0xc01 |] in
+  let classes =
+    List.map
+      (fun c ->
+        ( c,
+          List.filter (fun _ -> Random.State.bool st) (Graph.vertices g) ))
+      colors
+  in
+  Graph.with_colors g classes
+
+let colored_balanced ~seed ~colors g =
+  match colors with
+  | [] -> g
+  | _ ->
+      let st = Random.State.make [| seed; 0xba1 |] in
+      let k = List.length colors in
+      let assignment =
+        List.map (fun v -> (v, Random.State.int st k)) (Graph.vertices g)
+      in
+      let classes =
+        List.mapi
+          (fun i c ->
+            (c, List.filter_map (fun (v, j) -> if i = j then Some v else None) assignment))
+          colors
+      in
+      Graph.with_colors g classes

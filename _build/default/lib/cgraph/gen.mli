@@ -1,0 +1,58 @@
+(** Graph generators for workloads and tests.
+
+    All random generators are deterministic given the [seed] argument.
+    The sparse families (paths, trees, grids, caterpillars, bounded-degree
+    graphs) are nowhere dense; cliques and dense [G(n,p)] are not, giving
+    the contrast classes used in the splitter-game experiments (E7). *)
+
+val path : int -> Graph.t
+(** Path [P_n] on vertices [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** Cycle [C_n] ([n >= 3]). *)
+
+val star : int -> Graph.t
+(** Star with centre [0] and [n-1] leaves. *)
+
+val clique : int -> Graph.t
+(** Complete graph [K_n]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: the [w*h] grid; vertex [(x,y)] has id [y*w + x].
+    Planar, hence nowhere dense. *)
+
+val complete_binary_tree : int -> Graph.t
+(** Complete binary tree of the given depth (depth 0 = single vertex). *)
+
+val random_tree : seed:int -> int -> Graph.t
+(** Uniform random labelled tree on [n] vertices (random Prüfer-style
+    attachment). *)
+
+val caterpillar : seed:int -> spine:int -> legs:int -> Graph.t
+(** A path of length [spine] with up to [legs] random pendant vertices per
+    spine vertex. *)
+
+val random_bounded_degree : seed:int -> n:int -> d:int -> Graph.t
+(** Random graph of maximum degree at most [d] (greedy random matching of
+    stubs; the bound is guaranteed, the distribution is not uniform). *)
+
+val gnp : seed:int -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi [G(n,p)]. *)
+
+val ktree : seed:int -> k:int -> n:int -> Graph.t
+(** A random [k]-tree on [n >= k+1] vertices: start from [K_{k+1}], then
+    repeatedly attach a fresh vertex to a random existing [k]-clique.
+    Treewidth exactly [k]; bounded-treewidth classes are nowhere dense
+    (the setting of the conclusion's MSO question). *)
+
+val partial_ktree : seed:int -> k:int -> n:int -> keep:float -> Graph.t
+(** A random subgraph of a [k]-tree keeping each edge with probability
+    [keep] (treewidth at most [k]). *)
+
+val colored : seed:int -> colors:string list -> Graph.t -> Graph.t
+(** Assign each colour independently to each vertex with probability 1/2
+    (colour expansion used to diversify types in the experiments). *)
+
+val colored_balanced : seed:int -> colors:string list -> Graph.t -> Graph.t
+(** Partition vertices randomly into the given colours (each vertex gets
+    exactly one colour). *)

@@ -1,0 +1,223 @@
+(* Vertex-coloured graphs backed by sorted adjacency arrays.
+
+   The representation favours the access patterns of the type-computation
+   and learning algorithms: O(log d) edge tests, O(1) neighbour iteration,
+   cheap colour expansions (colour maps are persistent association data
+   shared between expanded graphs). *)
+
+type vertex = int
+
+exception Invalid_vertex of int
+
+module SMap = Map.Make (String)
+
+type t = {
+  n : int;
+  adj : vertex array array;         (* sorted, duplicate-free *)
+  colors : vertex array SMap.t;     (* colour name -> sorted member array *)
+  nedges : int;
+}
+
+let check_vertex g v = if v < 0 || v >= g.n then raise (Invalid_vertex v)
+
+let sorted_dedup_array lst =
+  let a = Array.of_list lst in
+  Array.sort compare a;
+  let m = Array.length a in
+  if m = 0 then a
+  else begin
+    let w = ref 1 in
+    for r = 1 to m - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    Array.sub a 0 !w
+  end
+
+let build_colors n color_list =
+  List.fold_left
+    (fun acc (name, members) ->
+      if SMap.mem name acc then
+        invalid_arg (Printf.sprintf "Graph.create: duplicate colour %S" name);
+      List.iter
+        (fun v -> if v < 0 || v >= n then raise (Invalid_vertex v))
+        members;
+      SMap.add name (sorted_dedup_array members) acc)
+    SMap.empty color_list
+
+let create ~n ~edges ~colors =
+  if n < 0 then invalid_arg "Graph.create: negative order";
+  let buckets = Array.make (max n 1) [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n then raise (Invalid_vertex u);
+      if v < 0 || v >= n then raise (Invalid_vertex v);
+      if u = v then invalid_arg "Graph.create: self-loop";
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v))
+    edges;
+  let adj = Array.init n (fun v -> sorted_dedup_array buckets.(v)) in
+  let nedges =
+    Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2
+  in
+  { n; adj; colors = build_colors n colors; nedges }
+
+let of_adjacency adj colors =
+  let n = Array.length adj in
+  let edges =
+    List.concat
+      (List.init n (fun u ->
+           List.filter_map (fun v -> if u < v then Some (u, v) else None) adj.(u)))
+  in
+  (* symmetrise: also collect edges given only in the high->low direction *)
+  let extra =
+    List.concat
+      (List.init n (fun u ->
+           List.filter_map (fun v -> if u > v then Some (v, u) else None) adj.(u)))
+  in
+  create ~n ~edges:(edges @ extra) ~colors
+
+let order g = g.n
+let size g = g.nedges
+let vertices g = List.init g.n Fun.id
+
+let neighbors g v =
+  check_vertex g v;
+  g.adj.(v)
+
+let degree g v =
+  check_vertex g v;
+  Array.length g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 g.adj
+
+let mem_sorted a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && a.(!lo) = x
+
+let mem_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if Array.length g.adj.(u) <= Array.length g.adj.(v) then
+    mem_sorted g.adj.(u) v
+  else mem_sorted g.adj.(v) u
+
+let edges g =
+  List.concat
+    (List.init g.n (fun u ->
+         Array.to_list g.adj.(u)
+         |> List.filter_map (fun v -> if u < v then Some (u, v) else None)))
+
+let color_names g = SMap.bindings g.colors |> List.map fst
+
+let has_color g c v =
+  check_vertex g v;
+  match SMap.find_opt c g.colors with
+  | None -> false
+  | Some members -> mem_sorted members v
+
+let color_class g c =
+  match SMap.find_opt c g.colors with
+  | None -> []
+  | Some members -> Array.to_list members
+
+let colors_of g v =
+  check_vertex g v;
+  SMap.fold
+    (fun name members acc -> if mem_sorted members v then name :: acc else acc)
+    g.colors []
+  |> List.rev
+
+let with_colors g fresh =
+  let colors =
+    List.fold_left
+      (fun acc (name, members) ->
+        if SMap.mem name acc then
+          invalid_arg
+            (Printf.sprintf "Graph.with_colors: colour %S already present" name);
+        List.iter (fun v -> check_vertex g v) members;
+        SMap.add name (sorted_dedup_array members) acc)
+      g.colors fresh
+  in
+  { g with colors }
+
+let restrict_vocabulary g keep =
+  let colors = SMap.filter (fun name _ -> List.mem name keep) g.colors in
+  { g with colors }
+
+let equal g h =
+  g.n = h.n
+  && g.nedges = h.nedges
+  && Array.for_all2 (fun a b -> a = b) g.adj h.adj
+  && SMap.equal (fun a b -> a = b) g.colors h.colors
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d vertices, %d edges@," g.n g.nedges;
+  Format.fprintf ppf "edges: %a@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g);
+  SMap.iter
+    (fun name members ->
+      Format.fprintf ppf "colour %s: {%a}@," name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        (Array.to_list members))
+    g.colors;
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = "G") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  List.iter
+    (fun v ->
+      let cs = colors_of g v in
+      let label =
+        if cs = [] then string_of_int v
+        else Printf.sprintf "%d:%s" v (String.concat "," cs)
+      in
+      Buffer.add_string buf (Printf.sprintf "  v%d [label=\"%s\"];\n" v label))
+    (vertices g);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  v%d -- v%d;\n" u v))
+    (edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+module Tuple = struct
+  type nonrec t = vertex array
+
+  let equal (a : t) (b : t) = a = b
+  let compare (a : t) (b : t) = compare a b
+
+  let hash (a : t) =
+    Array.fold_left (fun acc v -> (acc * 31) + v + 1) (Array.length a) a
+
+  let pp ppf t =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      (Array.to_list t)
+
+  let append = Array.append
+
+  let all ~n ~k =
+    if k < 0 then invalid_arg "Tuple.all: negative arity";
+    let rec go k =
+      if k = 0 then [ [] ]
+      else
+        let rest = go (k - 1) in
+        List.concat (List.init n (fun v -> List.map (fun t -> v :: t) rest))
+    in
+    List.map Array.of_list (go k)
+end

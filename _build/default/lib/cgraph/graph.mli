@@ -1,0 +1,112 @@
+(** Vertex-coloured graphs: the relational structures of the paper.
+
+    A graph is a finite relational structure
+    [G = (V(G), E(G), P_1(G), ..., P_c(G))] over a vocabulary
+    [tau = {E, P_1, ..., P_c}] with [E] binary (symmetric, irreflexive) and
+    the [P_i] unary ("colours").  Vertices are the integers
+    [0 .. order g - 1].  Values of type {!t} are immutable; all operations
+    that "modify" a graph return a new value (cheaply sharing adjacency
+    arrays where possible). *)
+
+type t
+(** A vertex-coloured graph. *)
+
+type vertex = int
+(** Vertices are dense integer identifiers [0 .. order g - 1]. *)
+
+exception Invalid_vertex of int
+(** Raised when a vertex id is outside [0 .. order g - 1]. *)
+
+(** {1 Construction} *)
+
+val create :
+  n:int -> edges:(vertex * vertex) list -> colors:(string * vertex list) list -> t
+(** [create ~n ~edges ~colors] builds a graph with [n] vertices, the given
+    undirected edges (self-loops are rejected, duplicates are merged) and
+    the given colour classes.  A colour may appear once only.
+    @raise Invalid_vertex on an out-of-range endpoint.
+    @raise Invalid_argument on a self-loop or duplicate colour name. *)
+
+val of_adjacency : int list array -> (string * vertex list) list -> t
+(** [of_adjacency adj colors] builds a graph from adjacency lists; the
+    relation is symmetrised automatically. *)
+
+(** {1 Basic accessors} *)
+
+val order : t -> int
+(** Number of vertices, [|V(G)|]. *)
+
+val size : t -> int
+(** Number of (undirected) edges, [|E(G)|]. *)
+
+val vertices : t -> vertex list
+(** All vertices in increasing order. *)
+
+val neighbors : t -> vertex -> vertex array
+(** Sorted array of neighbours.  The returned array must not be mutated. *)
+
+val degree : t -> vertex -> int
+(** Number of neighbours. *)
+
+val max_degree : t -> int
+(** Maximum degree over all vertices ([0] for the empty graph). *)
+
+val mem_edge : t -> vertex -> vertex -> bool
+(** Edge test in time [O(log degree)]. *)
+
+val edges : t -> (vertex * vertex) list
+(** All edges as pairs [(u, v)] with [u < v], lexicographically sorted. *)
+
+(** {1 Colours} *)
+
+val color_names : t -> string list
+(** The unary predicates of the vocabulary, sorted by name. *)
+
+val has_color : t -> string -> vertex -> bool
+(** [has_color g c v] tests [v ∈ P_c(G)].  A colour absent from the
+    vocabulary holds of no vertex. *)
+
+val color_class : t -> string -> vertex list
+(** All vertices of a colour (empty if the colour is unknown). *)
+
+val colors_of : t -> vertex -> string list
+(** Sorted list of the colours holding at a vertex. *)
+
+val with_colors : t -> (string * vertex list) list -> t
+(** Colour expansion (Section 2 of the paper): add fresh colour classes.
+    @raise Invalid_argument if a colour already exists. *)
+
+val restrict_vocabulary : t -> string list -> t
+(** Keep only the listed colours (the [tau]-reduct on unary predicates). *)
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Structural equality: same order, same edge set, same colour classes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line description. *)
+
+val to_dot : ?name:string -> t -> string
+(** GraphViz rendering (colours become vertex labels). *)
+
+(** {1 Tuples of vertices}
+
+    The learning problem classifies [k]-tuples of vertices; tuples are
+    plain [int array]s. *)
+
+module Tuple : sig
+  type nonrec t = vertex array
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  val append : t -> t -> t
+  (** Concatenation [ū·v̄], used to extend example tuples by parameters. *)
+
+  val all : n:int -> k:int -> t list
+  (** All [n^k] tuples over [{0..n-1}], lexicographically.  [k = 0] gives
+      the single empty tuple. *)
+end

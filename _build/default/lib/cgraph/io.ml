@@ -1,0 +1,87 @@
+exception Format_error of string
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.order g));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    (Graph.edges g);
+  List.iter
+    (fun c ->
+      match Graph.color_class g c with
+      | [] -> Buffer.add_string buf (Printf.sprintf "c %s\n" c)
+      | members ->
+          Buffer.add_string buf
+            (Printf.sprintf "c %s %s\n" c
+               (String.concat " " (List.map string_of_int members))))
+    (Graph.color_names g);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref None in
+  let edges = ref [] in
+  let colors : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let fail lineno msg =
+    raise (Format_error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  let int_of lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "expected an integer, got %S" s)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | "n" :: rest -> (
+          match rest with
+          | [ v ] ->
+              if !n <> None then fail lineno "duplicate n line";
+              n := Some (int_of lineno v)
+          | _ -> fail lineno "n takes exactly one argument")
+      | "e" :: rest -> (
+          match rest with
+          | [ u; v ] -> edges := (int_of lineno u, int_of lineno v) :: !edges
+          | _ -> fail lineno "e takes exactly two arguments")
+      | "c" :: name :: members ->
+          let cell =
+            match Hashtbl.find_opt colors name with
+            | Some cell -> cell
+            | None ->
+                let cell = ref [] in
+                Hashtbl.replace colors name cell;
+                cell
+          in
+          cell := List.map (int_of lineno) members @ !cell
+      | "c" :: [] -> fail lineno "c needs a colour name"
+      | tok :: _ -> fail lineno (Printf.sprintf "unknown directive %S" tok))
+    lines;
+  match !n with
+  | None -> raise (Format_error "missing n line")
+  | Some n ->
+      let colors = Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) colors [] in
+      (try Graph.create ~n ~edges:!edges ~colors
+       with Graph.Invalid_vertex v ->
+         raise (Format_error (Printf.sprintf "vertex %d out of range" v)))
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

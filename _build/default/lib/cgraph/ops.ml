@@ -1,0 +1,127 @@
+type embedding = {
+  graph : Graph.t;
+  to_sub : Graph.vertex -> Graph.vertex option;
+  of_sub : Graph.vertex -> Graph.vertex;
+}
+
+let induced g s =
+  let s = List.sort_uniq compare s in
+  List.iter
+    (fun v -> if v < 0 || v >= Graph.order g then raise (Graph.Invalid_vertex v))
+    s;
+  let old_of_new = Array.of_list s in
+  let m = Array.length old_of_new in
+  let new_of_old = Hashtbl.create (2 * m) in
+  Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
+  let edges =
+    List.concat_map
+      (fun (i : int) ->
+        let v = old_of_new.(i) in
+        Graph.neighbors g v |> Array.to_list
+        |> List.filter_map (fun w ->
+               match Hashtbl.find_opt new_of_old w with
+               | Some j when i < j -> Some (i, j)
+               | _ -> None))
+      (List.init m Fun.id)
+  in
+  let colors =
+    List.map
+      (fun c ->
+        ( c,
+          Graph.color_class g c
+          |> List.filter_map (fun v -> Hashtbl.find_opt new_of_old v) ))
+      (Graph.color_names g)
+  in
+  {
+    graph = Graph.create ~n:m ~edges ~colors;
+    to_sub = (fun v -> Hashtbl.find_opt new_of_old v);
+    of_sub = (fun i -> old_of_new.(i));
+  }
+
+let neighborhood g ~r t = induced g (Bfs.ball_tuple g ~r t)
+
+let disjoint_union gs =
+  let offsets = Array.make (List.length gs) 0 in
+  let total =
+    List.fold_left
+      (fun (i, acc) g ->
+        offsets.(i) <- acc;
+        (i + 1, acc + Graph.order g))
+      (0, 0) gs
+    |> snd
+  in
+  let edges =
+    List.concat (List.mapi
+      (fun i g ->
+        List.map (fun (u, v) -> (u + offsets.(i), v + offsets.(i))) (Graph.edges g))
+      gs)
+  in
+  let color_tbl : (string, Graph.vertex list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun c ->
+          let members =
+            List.map (fun v -> v + offsets.(i)) (Graph.color_class g c)
+          in
+          match Hashtbl.find_opt color_tbl c with
+          | Some r -> r := members @ !r
+          | None -> Hashtbl.replace color_tbl c (ref members))
+        (Graph.color_names g))
+    gs;
+  let colors =
+    Hashtbl.fold (fun c members acc -> (c, !members) :: acc) color_tbl []
+  in
+  let union = Graph.create ~n:total ~edges ~colors in
+  (union, fun i v -> v + offsets.(i))
+
+let copies g c =
+  if c < 1 then invalid_arg "Ops.copies: need at least one copy";
+  disjoint_union (List.init c (fun _ -> g))
+
+let delete_edges_at g vs =
+  let doomed = Array.make (Graph.order g) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.order g then raise (Graph.Invalid_vertex v);
+      doomed.(v) <- true)
+    vs;
+  let edges =
+    List.filter (fun (u, v) -> not (doomed.(u) || doomed.(v))) (Graph.edges g)
+  in
+  let colors =
+    List.map (fun c -> (c, Graph.color_class g c)) (Graph.color_names g)
+  in
+  Graph.create ~n:(Graph.order g) ~edges ~colors
+
+let add_isolated g colour_sets =
+  let n = Graph.order g in
+  let fresh = List.mapi (fun i _ -> n + i) colour_sets in
+  let color_tbl : (string, Graph.vertex list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c -> Hashtbl.replace color_tbl c (ref (Graph.color_class g c)))
+    (Graph.color_names g);
+  List.iteri
+    (fun i cs ->
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt color_tbl c with
+          | Some r -> r := (n + i) :: !r
+          | None -> Hashtbl.replace color_tbl c (ref [ n + i ]))
+        cs)
+    colour_sets;
+  let colors =
+    Hashtbl.fold (fun c members acc -> (c, !members) :: acc) color_tbl []
+  in
+  let graph =
+    Graph.create ~n:(n + List.length colour_sets) ~edges:(Graph.edges g) ~colors
+  in
+  (graph, fresh)
+
+let subgraph_of h g =
+  Graph.order h <= Graph.order g
+  && List.for_all (fun (u, v) -> Graph.mem_edge g u v) (Graph.edges h)
+  && List.for_all
+       (fun c ->
+         List.for_all (fun v -> Graph.has_color g c v) (Graph.color_class h c))
+       (Graph.color_names h)

@@ -1,0 +1,1 @@
+lib/core/catalogue.ml: Array Cgraph Fo Graph List Modelcheck Printf

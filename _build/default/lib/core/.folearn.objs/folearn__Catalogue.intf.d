@@ -1,0 +1,1 @@
+lib/core/catalogue.mli: Cgraph Fo Graph

@@ -1,0 +1,1 @@
+lib/core/erm_brute.mli: Cgraph Graph Hypothesis Sample

@@ -1,0 +1,1 @@
+lib/core/erm_counting.ml: Cgraph Graph Hashtbl Hypothesis List Modelcheck Printf Sample

@@ -1,0 +1,1 @@
+lib/core/erm_counting.mli: Cgraph Graph Hypothesis Sample

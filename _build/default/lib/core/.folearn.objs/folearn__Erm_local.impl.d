@@ -1,0 +1,1 @@
+lib/core/erm_local.ml: Array Bfs Cgraph Fo Graph Hashtbl Hypothesis List Modelcheck Printf Sample

@@ -1,0 +1,1 @@
+lib/core/erm_local.mli: Cgraph Graph Hypothesis Sample

@@ -1,0 +1,1 @@
+lib/core/erm_nd.ml: Array Bfs Cgraph Fo Fun Graph Hashtbl Hypothesis Int List Logs Modelcheck Ops Printf Sample Set Splitter String

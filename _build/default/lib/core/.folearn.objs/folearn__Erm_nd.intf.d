@@ -1,0 +1,1 @@
+lib/core/erm_nd.mli: Cgraph Graph Hypothesis Sample Splitter

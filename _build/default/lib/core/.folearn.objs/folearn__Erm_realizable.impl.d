@@ -1,0 +1,1 @@
+lib/core/erm_realizable.ml: Array Cgraph Fo Graph Hypothesis List Modelcheck Printf Sample

@@ -1,0 +1,1 @@
+lib/core/erm_realizable.mli: Cgraph Fo Graph Hypothesis Sample

@@ -1,0 +1,1 @@
+lib/core/hypothesis.ml: Array Cgraph Fo Format Graph Int Lazy List Modelcheck Printf Sample Set String

@@ -1,0 +1,1 @@
+lib/core/pac.ml: Array Cgraph Float Graph Hashtbl Hypothesis Lazy List Modelcheck Printf Random Sample

@@ -1,0 +1,1 @@
+lib/core/pac.mli: Cgraph Graph Hypothesis Lazy Random Sample

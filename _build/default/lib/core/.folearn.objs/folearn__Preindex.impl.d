@@ -1,0 +1,1 @@
+lib/core/preindex.ml: Array Cgraph Graph Hashtbl Hypothesis List Modelcheck Printf Sample

@@ -1,0 +1,1 @@
+lib/core/preindex.mli: Cgraph Graph Hypothesis Sample

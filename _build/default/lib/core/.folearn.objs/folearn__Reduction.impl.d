@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Bfs Cgraph Erm_brute Fo Graph Hashtbl Hypothesis Invariants List Modelcheck Ops Printf Ramsey Sample String

@@ -1,0 +1,1 @@
+lib/core/sample.ml: Array Cgraph Float Format Graph List Modelcheck Random

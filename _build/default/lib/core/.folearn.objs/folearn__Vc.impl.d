@@ -1,0 +1,1 @@
+lib/core/vc.ml: Array Cgraph Graph Hashtbl List Modelcheck Random

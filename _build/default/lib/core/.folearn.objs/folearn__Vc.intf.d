@@ -1,0 +1,1 @@
+lib/core/vc.mli: Cgraph Graph

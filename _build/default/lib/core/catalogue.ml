@@ -1,0 +1,65 @@
+open Cgraph
+module Types = Modelcheck.Types
+
+(* realised local (q,r)-types of (1+ell)-tuples, as canonical types *)
+let realised_types g ~ell ~q ~r =
+  let ctx = Types.make_ctx g in
+  Types.partition_by_ltp ctx ~q ~r
+    (Graph.Tuple.all ~n:(Graph.order g) ~k:(1 + ell))
+  |> List.map fst
+
+(* the formula "ltp(x, y1..yell) ∈ {θ}": relativised Hintikka over the
+   Algorithm 2 variable convention (x, y1, ..., yell) *)
+let formula_of_types g ~ell ~q:_ ~r thetas =
+  let colors = Graph.color_names g in
+  let vars = Modelcheck.Hintikka.variables (1 + ell) in
+  let rename =
+    ("x1", "x")
+    :: List.init ell (fun i ->
+           (Printf.sprintf "x%d" (i + 2), Printf.sprintf "y%d" (i + 1)))
+  in
+  Fo.Formula.or_
+    (List.map
+       (fun theta ->
+         Fo.Formula.substitute rename
+           (Fo.Localize.relativize ~r ~around:vars
+              (Modelcheck.Hintikka.of_type ~colors theta)))
+       thetas)
+
+let subsets_smallest_first items ~limit =
+  (* enumerate subsets in order of increasing cardinality, skipping the
+     empty set, stopping at [limit] *)
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     for size = 1 to n do
+       (* all index subsets of the given size *)
+       let rec choose start acc =
+         if List.length acc = size then begin
+           incr count;
+           out := List.rev_map (fun i -> arr.(i)) acc :: !out;
+           if !count >= limit then raise Exit
+         end
+         else
+           for i = start to n - 1 do
+             choose (i + 1) (i :: acc)
+           done
+       in
+       choose 0 []
+     done
+   with Exit -> ());
+  List.rev !out
+
+let of_local_types g ~ell ~q ~r ?(max_size = 256) () =
+  if ell < 0 then invalid_arg "Catalogue.of_local_types: negative ell";
+  let types = realised_types g ~ell ~q ~r in
+  List.map
+    (fun thetas -> formula_of_types g ~ell ~q ~r thetas)
+    (subsets_smallest_first types ~limit:max_size)
+
+let positive_types_only g ~ell ~q ~r =
+  List.map
+    (fun theta -> formula_of_types g ~ell ~q ~r [ theta ])
+    (realised_types g ~ell ~q ~r)

@@ -1,0 +1,87 @@
+open Cgraph
+module Types = Modelcheck.Types
+
+type result = {
+  hypothesis : Hypothesis.t;
+  err : float;
+  params_tried : int;
+}
+
+let check_arity ~k lam =
+  match Sample.arity lam with
+  | Some k' when k' <> k ->
+      invalid_arg
+        (Printf.sprintf "Erm_brute: examples have arity %d, expected %d" k' k)
+  | _ -> ()
+
+(* Best type-set for fixed parameters: majority vote per q-type class of
+   v̄·w̄.  Returns (positive type list, number of errors). *)
+let majority_types ctx ~q ~params lam =
+  let votes : (Types.ty, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (v, label) ->
+      let t = Types.tp ctx ~q (Graph.Tuple.append v params) in
+      let pos, neg =
+        match Hashtbl.find_opt votes t with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0, ref 0) in
+            Hashtbl.replace votes t cell;
+            cell
+      in
+      if label then incr pos else incr neg)
+    lam;
+  Hashtbl.fold
+    (fun t (pos, neg) (chosen, errs) ->
+      if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
+    votes ([], 0)
+
+let solve_for_params_ctx ctx g ~k ~q ~params lam =
+  check_arity ~k lam;
+  let chosen, errs = majority_types ctx ~q ~params lam in
+  let hypothesis = Hypothesis.of_types g ~k ~q ~types:chosen ~params in
+  let err =
+    match lam with
+    | [] -> 0.0
+    | _ -> float_of_int errs /. float_of_int (Sample.size lam)
+  in
+  { hypothesis; err; params_tried = 1 }
+
+let solve_for_params g ~k ~q ~params lam =
+  solve_for_params_ctx (Types.make_ctx g) g ~k ~q ~params lam
+
+let solve g ~k ~ell ~q lam =
+  check_arity ~k lam;
+  if ell < 0 then invalid_arg "Erm_brute.solve: negative parameter count";
+  let ctx = Types.make_ctx g in
+  let candidates = Graph.Tuple.all ~n:(Graph.order g) ~k:ell in
+  let tried = ref 0 in
+  let best = ref None in
+  List.iter
+    (fun params ->
+      incr tried;
+      let chosen, errs = majority_types ctx ~q ~params lam in
+      match !best with
+      | Some (_, _, best_errs) when best_errs <= errs -> ()
+      | _ -> best := Some (params, chosen, errs))
+    candidates;
+  match !best with
+  | Some (params, chosen, errs) ->
+      {
+        hypothesis = Hypothesis.of_types g ~k ~q ~types:chosen ~params;
+        err =
+          (match lam with
+          | [] -> 0.0
+          | _ -> float_of_int errs /. float_of_int (Sample.size lam));
+        params_tried = !tried;
+      }
+  | None ->
+      (* ell >= 1 on the empty graph: H is empty unless there are no
+         examples; fall back to a constant hypothesis. *)
+      {
+        hypothesis = Hypothesis.constantly g ~k false;
+        err = Sample.error_of (fun _ -> false) lam;
+        params_tried = 0;
+      }
+
+let optimal_error g ~k ~ell ~q lam = (solve g ~k ~ell ~q lam).err

@@ -1,0 +1,34 @@
+(** Exact empirical risk minimisation over [H_{k,ℓ,q}(G)]
+    (Proposition 11 / Algorithm 1 of the paper).
+
+    For every parameter tuple [w̄ ∈ V(G)^ℓ] (the [n^ℓ] factor of the
+    proposition), the best quantifier-rank-[q] formula classifies examples
+    by their [q]-type class of [v̄·w̄] (Corollary 6); the optimum for fixed
+    [w̄] is therefore majority vote per type class.  This replaces
+    Algorithm 1's "for all φ' ∈ Φ'" loop over the (tower-sized) normal-form
+    catalogue by an equivalent exact computation — the substitution
+    documented in DESIGN.md §5 — and returns a genuine witness formula
+    (Hintikka disjunction) of quantifier rank [q].
+
+    The result is an {e exact} minimiser: [err_Λ = ε*], not just
+    [ε* + ε]. *)
+
+open Cgraph
+
+type result = {
+  hypothesis : Hypothesis.t;
+  err : float;  (** the optimal training error [ε*] *)
+  params_tried : int;  (** [n^ℓ], for the complexity experiments *)
+}
+
+val solve : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result
+(** Exact ERM.  Cost [O(n^ℓ · m)] type computations of rank [q] on
+    [(k+ℓ)]-tuples.
+    @raise Invalid_argument if an example has arity other than [k]. *)
+
+val optimal_error : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> float
+(** Just [ε* = min_{h ∈ H_{k,ℓ,q}} err_Λ(h)]. *)
+
+val solve_for_params :
+  Graph.t -> k:int -> q:int -> params:Graph.Tuple.t -> Sample.t -> result
+(** The inner loop: best hypothesis for one fixed parameter tuple. *)

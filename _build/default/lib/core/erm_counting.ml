@@ -1,0 +1,70 @@
+open Cgraph
+module C = Modelcheck.Ctypes
+
+type result = {
+  hypothesis : Hypothesis.t;
+  err : float;
+  params_tried : int;
+}
+
+let check_arity ~k lam =
+  match Sample.arity lam with
+  | Some k' when k' <> k ->
+      invalid_arg
+        (Printf.sprintf "Erm_counting: examples have arity %d, expected %d" k' k)
+  | _ -> ()
+
+let majority ctx ~q ~tmax ~params lam =
+  let votes : (C.ty, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (v, label) ->
+      let t = C.ctp ctx ~q ~tmax (Graph.Tuple.append v params) in
+      let pos, neg =
+        match Hashtbl.find_opt votes t with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0, ref 0) in
+            Hashtbl.replace votes t cell;
+            cell
+      in
+      if label then incr pos else incr neg)
+    lam;
+  Hashtbl.fold
+    (fun t (pos, neg) (chosen, errs) ->
+      if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
+    votes ([], 0)
+
+let solve g ~k ~ell ~q ~tmax lam =
+  check_arity ~k lam;
+  if ell < 0 then invalid_arg "Erm_counting.solve: negative parameter count";
+  if tmax < 1 then invalid_arg "Erm_counting.solve: tmax must be >= 1";
+  let ctx = C.make_ctx g in
+  let tried = ref 0 in
+  let best = ref None in
+  List.iter
+    (fun params ->
+      incr tried;
+      let chosen, errs = majority ctx ~q ~tmax ~params lam in
+      match !best with
+      | Some (_, _, best_errs) when best_errs <= errs -> ()
+      | _ -> best := Some (params, chosen, errs))
+    (Graph.Tuple.all ~n:(Graph.order g) ~k:ell);
+  match !best with
+  | Some (params, chosen, errs) ->
+      {
+        hypothesis =
+          Hypothesis.of_counting_types g ~k ~q ~tmax ~types:chosen ~params;
+        err =
+          (match lam with
+          | [] -> 0.0
+          | _ -> float_of_int errs /. float_of_int (Sample.size lam));
+        params_tried = !tried;
+      }
+  | None ->
+      {
+        hypothesis = Hypothesis.constantly g ~k false;
+        err = Sample.error_of (fun _ -> false) lam;
+        params_tried = 0;
+      }
+
+let optimal_error g ~k ~ell ~q ~tmax lam = (solve g ~k ~ell ~q ~tmax lam).err

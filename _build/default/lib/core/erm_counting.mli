@@ -1,0 +1,30 @@
+(** Exact ERM over first-order logic {e with counting} — the extension the
+    paper's conclusion proposes ("extend our results to richer logics …
+    such as the extensions of first-order logic with counting").
+
+    The hypothesis class [H^C_{k,ℓ,q,tmax}(G)] consists of all
+    [h_{φ,w̄}] where [φ] is an FOC formula of quantifier rank [q] whose
+    counting thresholds are at most [tmax].  The solver mirrors
+    {!Erm_brute}: for every parameter tuple, the optimal classifier is
+    majority vote per counting-type class ({!Modelcheck.Ctypes}), and the
+    witness formula is a disjunction of counting Hintikka formulas.
+
+    Counting strictly increases expressive power at fixed rank: "degree at
+    least 3" needs rank 3 in plain FO but is [∃^{>=3} y. E(x, y)] — rank 1
+    — in FOC (exercised by E10 and the test suite). *)
+
+open Cgraph
+
+type result = {
+  hypothesis : Hypothesis.t;
+  err : float;  (** the optimal training error over the counting class *)
+  params_tried : int;
+}
+
+val solve :
+  Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t -> result
+(** Exact counting ERM.
+    @raise Invalid_argument on arity mismatch or [tmax < 1]. *)
+
+val optimal_error :
+  Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t -> float

@@ -1,0 +1,84 @@
+open Cgraph
+module Types = Modelcheck.Types
+
+type result = {
+  hypothesis : Hypothesis.t;
+  err : float;
+  pool_size : int;
+  params_tried : int;
+  vertices_touched : int;
+}
+
+let majority ctx ~q ~r ~params lam =
+  let votes : (Types.ty, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (v, label) ->
+      let t = Types.ltp ctx ~q ~r (Graph.Tuple.append v params) in
+      let pos, neg =
+        match Hashtbl.find_opt votes t with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0, ref 0) in
+            Hashtbl.replace votes t cell;
+            cell
+      in
+      if label then incr pos else incr neg)
+    lam;
+  Hashtbl.fold
+    (fun t (pos, neg) (chosen, errs) ->
+      if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
+    votes ([], 0)
+
+(* all j-tuples (with repetition) over a pool *)
+let rec tuples_over pool j =
+  if j = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.map (fun p -> p :: rest) pool)
+      (tuples_over pool (j - 1))
+
+let solve ?radius g ~k ~ell ~q lam =
+  (match Sample.arity lam with
+  | Some k' when k' <> k ->
+      invalid_arg
+        (Printf.sprintf "Erm_local: examples have arity %d, expected %d" k' k)
+  | _ -> ());
+  let r = match radius with Some r -> r | None -> Fo.Gaifman.radius q in
+  let entries =
+    List.sort_uniq compare
+      (List.concat_map (fun (v, _) -> Array.to_list v) lam)
+  in
+  (* candidate parameter pool: the (2r+1)-neighbourhood of the examples *)
+  let pool = Bfs.ball g ~r:((2 * r) + 1) entries in
+  (* everything the algorithm can touch: pool plus the radius-r balls
+     used by the local-type computations *)
+  let touched = Bfs.ball g ~r:((3 * r) + 2) entries in
+  let ctx = Types.make_ctx g in
+  let tried = ref 0 in
+  let best = ref None in
+  for j = 0 to ell do
+    List.iter
+      (fun params_list ->
+        incr tried;
+        let params = Array.of_list params_list in
+        let chosen, errs = majority ctx ~q ~r ~params lam in
+        match !best with
+        | Some (_, _, best_errs) when best_errs <= errs -> ()
+        | _ -> best := Some (params, chosen, errs))
+      (tuples_over pool j)
+  done;
+  let params, chosen, errs =
+    match !best with
+    | Some b -> b
+    | None -> ([||], [], Sample.errors_of (fun _ -> false) lam)
+  in
+  {
+    hypothesis = Hypothesis.of_local_types g ~k ~q ~r ~types:chosen ~params;
+    err =
+      (match lam with
+      | [] -> 0.0
+      | _ -> float_of_int errs /. float_of_int (Sample.size lam));
+    pool_size = List.length pool;
+    params_tried = !tried;
+    vertices_touched = List.length touched;
+  }

@@ -1,0 +1,95 @@
+(** The fixed-parameter tractable learner for nowhere dense classes
+    (Theorem 13 — the precise form of Theorem 2, the paper's main
+    algorithmic result).
+
+    The algorithm follows the proof structure exactly:
+
+    + fix the locality radius [r = r(q_star)] (Fact 5) and the game radius
+      [R = 3^{ℓ*-1} · (k+2)(2r+1)];
+    + compute the {e conflicts} of the training sequence: pairs of a
+      positive and a negative example with equal local [(q*, r)]-types —
+      examples outside any conflict are classified by their local type
+      alone;
+    + per round [i]: compute the centre set [X] of Lemma 14 (greedy
+      selection of [>4r+2]-separated vertices attending many conflicts),
+      guess [Y ⊆ X] with [|Y| <= ℓ*], contract [Y] to ball-disjoint
+      centres [Z] with blown-up radius [R'] via Lemma 3 (Vitali), and take
+      {e Splitter's answers} to the moves [z ∈ Z] in the modified
+      [(R, s)]-splitter game as this round's parameters [ŵ^i];
+    + project the graph and the still-conflicted examples into
+      [G^{i+1} = N_{R'}(Z)] with fresh distance/neighbour/deletion colours
+      plus isolated type-representative vertices (Lemma 16), and repeat for
+      at most [s] rounds;
+    + output: parameters [w̄ = ŵ^0 ... ŵ^{s-1}] and the best local-type
+      hypothesis for [v̄·w̄] (majority vote per class — the paper's final
+      "test all formulas of quantifier rank q" step, computed exactly).
+
+    The non-deterministic guess of [Y] is unrolled into a bounded-width
+    search scored by final training error; [branch_width] large enough
+    makes it exhaustive (DESIGN.md §5). *)
+
+open Cgraph
+
+type config = {
+  k : int;  (** arity of the example tuples *)
+  ell_star : int;  (** parameter budget [ℓ*] of the comparison class *)
+  q_star : int;  (** quantifier-rank budget [q*] of the comparison class *)
+  epsilon : float;  (** additive error [ε > 0] *)
+  radius : int option;
+      (** locality radius override; default [Fo.Gaifman.radius q_star]
+          (astronomical for [q* >= 3] — see DESIGN.md §5) *)
+  cls : Splitter.Nowhere_dense.t;  (** class descriptor: strategy + [s] *)
+  branch_width : int;  (** max [Y]-guesses explored per round *)
+  max_rounds : int option;  (** cap on [s] (default: the class bound) *)
+  counting : int option;
+      (** [Some tmax]: run the learner over {e counting} local types with
+          thresholds up to [tmax] (the FOC variant the paper's conclusion
+          proposes); [None]: plain FO local types *)
+}
+
+val default_config :
+  ?epsilon:float -> ?radius:int -> ?branch_width:int -> ?counting:int ->
+  k:int -> ell_star:int -> q_star:int -> Splitter.Nowhere_dense.t -> config
+(** [epsilon] defaults to 0.1, [branch_width] to 8, [radius] to the
+    Gaifman bound, [counting] to off. *)
+
+type round_info = {
+  round : int;
+  arena_order : int;  (** [|V(G^i)|] *)
+  conflicts : int;  (** number of conflicting (pos, neg) class pairs *)
+  critical : int;  (** examples involved in some conflict *)
+  centre_count : int;  (** [|X|] from Lemma 14 *)
+  vitali_radius : int;  (** [R'] from Lemma 3 *)
+  answers : Graph.vertex list;
+      (** Splitter's answers this round, as original-graph vertices *)
+}
+
+type report = {
+  hypothesis : Hypothesis.t;
+  err : float;  (** training error of the returned hypothesis *)
+  rounds : round_info list;  (** the winning branch, round by round *)
+  r_used : int;  (** locality radius [r] *)
+  s_budget : int;  (** round budget [s] *)
+  ell_used : int;  (** [|w̄|  <=  ℓ* · s] *)
+  q_used : int;  (** quantifier rank of the witness formula ([<= Q]) *)
+  branches_explored : int;
+}
+
+val solve : config -> Graph.t -> Sample.t -> report
+(** Run the learner.  The Theorem 13 guarantee — when [branch_width]
+    covers all guesses and the class strategy wins its games —
+    is [err <= ε* + ε] with
+    [ε* = min err over H_{k,ℓ*,q*}(G)].
+    @raise Invalid_argument on arity mismatch or [epsilon <= 0]. *)
+
+val centre_set :
+  Graph.t -> r:int -> cap:int -> critical:Graph.Tuple.t list -> Graph.vertex list
+(** The greedy centre set of Lemma 14: vertices pairwise more than
+    [4r+2] apart, by decreasing attendance [|Γ(x)|] (critical tuples
+    whose [(2r+1)]-neighbourhood contains [x]), at most [cap] many.
+    Exposed for the property tests and the E5 diagnostics. *)
+
+val conflicts : Graph.t -> q:int -> r:int -> Sample.t -> (Graph.Tuple.t * Graph.Tuple.t) list
+(** The conflict pairs of a training sequence (exposed for tests and the
+    E5 diagnostics): one representative pair per (positive class,
+    negative class) with equal [ltp_{q,r}]. *)

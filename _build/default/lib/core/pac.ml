@@ -1,0 +1,135 @@
+open Cgraph
+
+type dist = {
+  describe : string;
+  sample : Random.State.t -> Sample.example;
+  support : (Sample.example * float) list Lazy.t;
+}
+
+let uniform_target g ~k ~target =
+  let n = Graph.order g in
+  if n = 0 then invalid_arg "Pac.uniform_target: empty graph";
+  {
+    describe = Printf.sprintf "uniform over V^%d, realisable" k;
+    sample =
+      (fun st ->
+        let v = Array.init k (fun _ -> Random.State.int st n) in
+        (v, target v));
+    support =
+      lazy
+        (let tuples = Graph.Tuple.all ~n ~k in
+         let p = 1.0 /. float_of_int (List.length tuples) in
+         List.map (fun v -> ((v, target v), p)) tuples);
+  }
+
+let uniform_noisy g ~k ~target ~noise =
+  if noise < 0.0 || noise > 1.0 then invalid_arg "Pac.uniform_noisy: bad noise";
+  let n = Graph.order g in
+  if n = 0 then invalid_arg "Pac.uniform_noisy: empty graph";
+  {
+    describe = Printf.sprintf "uniform over V^%d, noise %.2f" k noise;
+    sample =
+      (fun st ->
+        let v = Array.init k (fun _ -> Random.State.int st n) in
+        let l = target v in
+        let l = if Random.State.float st 1.0 < noise then not l else l in
+        (v, l));
+    support =
+      lazy
+        (let tuples = Graph.Tuple.all ~n ~k in
+         let p = 1.0 /. float_of_int (List.length tuples) in
+         List.concat_map
+           (fun v ->
+             let l = target v in
+             [
+               ((v, l), p *. (1.0 -. noise));
+               ((v, not l), p *. noise);
+             ])
+           tuples);
+  }
+
+let weighted ~describe entries =
+  if entries = [] then invalid_arg "Pac.weighted: empty support";
+  List.iter
+    (fun (_, w) -> if w <= 0.0 then invalid_arg "Pac.weighted: weight <= 0")
+    entries;
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+  let entries = List.map (fun (e, w) -> (e, w /. total)) entries in
+  {
+    describe;
+    sample =
+      (fun st ->
+        let x = Random.State.float st 1.0 in
+        let rec pick acc = function
+          | [ (e, _) ] -> e
+          | (e, w) :: rest -> if acc +. w >= x then e else pick (acc +. w) rest
+          | [] -> assert false
+        in
+        pick 0.0 entries);
+    support = lazy entries;
+  }
+
+let draw d ~seed ~m =
+  let st = Random.State.make [| seed; 0xd1 |] in
+  List.init m (fun _ -> d.sample st)
+
+let risk d h =
+  List.fold_left
+    (fun acc ((v, l), p) -> if h v <> l then acc +. p else acc)
+    0.0 (Lazy.force d.support)
+
+let bayes_risk d =
+  (* best classifier: per tuple, predict the majority label *)
+  let tbl : (Graph.Tuple.t, float * float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((v, l), p) ->
+      let pos, neg =
+        match Hashtbl.find_opt tbl v with Some c -> c | None -> (0.0, 0.0)
+      in
+      Hashtbl.replace tbl v (if l then (pos +. p, neg) else (pos, neg +. p)))
+    (Lazy.force d.support);
+  Hashtbl.fold (fun _ (pos, neg) acc -> acc +. min pos neg) tbl 0.0
+
+let log2_hypothesis_count g ~k ~ell ~q =
+  let n = float_of_int (max 1 (Graph.order g)) in
+  let t = float_of_int (Modelcheck.Types.count_types g ~q ~k:(k + ell)) in
+  t +. (float_of_int ell *. Float.log2 n)
+
+let sample_bound ~log2_h ~eps ~delta =
+  if eps <= 0.0 || delta <= 0.0 then
+    invalid_arg "Pac.sample_bound: eps, delta must be > 0";
+  let ln_h = log2_h *. log 2.0 in
+  int_of_float (ceil (2.0 *. (ln_h +. log (2.0 /. delta)) /. (eps *. eps)))
+
+type outcome = {
+  m : int;
+  training_error : float;
+  generalisation_error : float;
+  best_risk : float;
+  gap : float;
+}
+
+let run ~solver d ~seed ~m =
+  let lam = draw d ~seed ~m in
+  let h = solver lam in
+  let training_error = Hypothesis.training_error h lam in
+  let generalisation_error = risk d (Hypothesis.predict h) in
+  let best_risk = bayes_risk d in
+  {
+    m;
+    training_error;
+    generalisation_error;
+    best_risk;
+    gap = Float.abs (training_error -. generalisation_error);
+  }
+
+let cross_validate ~solver ~seed ~k lam =
+  let folds = Sample.kfold ~seed ~k lam in
+  let total =
+    List.fold_left
+      (fun acc (train, validation) ->
+        let h = solver train in
+        acc +. Hypothesis.training_error h validation)
+      0.0 folds
+  in
+  total /. float_of_int k

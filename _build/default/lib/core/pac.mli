@@ -1,0 +1,81 @@
+(** Agnostic PAC learning on top of ERM (paper, Sections 1 and 3).
+
+    PAC learning draws [m] labelled examples from an unknown distribution
+    [D] on [V(G)^k × {0,1}], runs an ERM solver on the sample, and bounds
+    the generalisation error via uniform convergence: for a finite
+    hypothesis class, [m = O((log |H| + log(1/δ)) / ε²)] examples suffice
+    for the training error of every hypothesis to be [ε]-close to its
+    risk, making the ERM output an [2ε]-approximate risk minimiser with
+    probability [1 - δ]. *)
+
+open Cgraph
+
+type dist = {
+  describe : string;
+  sample : Random.State.t -> Sample.example;
+  support : (Sample.example * float) list Lazy.t;
+      (** exact support with probabilities, for exact risk computation *)
+}
+(** A data-generating distribution on [V(G)^k × {0,1}]. *)
+
+val uniform_target : Graph.t -> k:int -> target:(Graph.Tuple.t -> bool) -> dist
+(** Uniform distribution on tuples, deterministic labels (realisable
+    setting). *)
+
+val uniform_noisy :
+  Graph.t -> k:int -> target:(Graph.Tuple.t -> bool) -> noise:float -> dist
+(** Uniform on tuples, labels flipped with probability [noise] (agnostic
+    setting; the Bayes risk is [noise]). *)
+
+val weighted :
+  describe:string -> (Sample.example * float) list -> dist
+(** Arbitrary finite distribution (weights are normalised).
+    @raise Invalid_argument on empty or non-positive weights. *)
+
+val draw : dist -> seed:int -> m:int -> Sample.t
+(** An i.i.d. sample of size [m]. *)
+
+val risk : dist -> (Graph.Tuple.t -> bool) -> float
+(** Exact generalisation error
+    [Pr_{(v̄,λ) ~ D} (h(v̄) ≠ λ)] (sums the support). *)
+
+val bayes_risk : dist -> float
+(** The risk of the best possible classifier (majority label per tuple). *)
+
+(** {1 Uniform-convergence sample bounds} *)
+
+val log2_hypothesis_count : Graph.t -> k:int -> ell:int -> q:int -> float
+(** [log2] of an upper bound on [|H_{k,ℓ,q}(G)|]:
+    [t + ℓ·log2 n] where [t] is the number of realised
+    [(k+ℓ)]-variable [q]-types (every hypothesis is a type set for some
+    parameter tuple).  Matches the paper's [f(k,ℓ,q) · n^ℓ] shape
+    (Section 3) and never overflows. *)
+
+val sample_bound : log2_h:float -> eps:float -> delta:float -> int
+(** Agnostic uniform-convergence bound
+    [m >= (2 (ln|H| + ln(2/δ))) / ε²] (Hoeffding + union bound). *)
+
+(** {1 End-to-end PAC experiments} *)
+
+type outcome = {
+  m : int;
+  training_error : float;
+  generalisation_error : float;
+  best_risk : float;  (** [min_h risk(h)] proxy: risk of ERM on the full support *)
+  gap : float;  (** |training - generalisation| *)
+}
+
+val run :
+  solver:(Sample.t -> Hypothesis.t) ->
+  dist ->
+  seed:int ->
+  m:int ->
+  outcome
+(** Draw, learn, and measure (one PAC trial). *)
+
+val cross_validate :
+  solver:(Sample.t -> Hypothesis.t) -> seed:int -> k:int -> Sample.t -> float
+(** Mean validation error over a {!Sample.kfold} — the practitioner's
+    estimate of the generalisation error when no distribution oracle is
+    available.
+    @raise Invalid_argument on bad [k]. *)

@@ -1,0 +1,113 @@
+let overflow_guard name x =
+  if x < 0 then invalid_arg (name ^ ": overflow")
+
+let factorial n =
+  if n < 0 then invalid_arg "Ramsey.factorial: negative input";
+  let rec go acc i =
+    if i > n then acc
+    else begin
+      let acc' = acc * i in
+      if acc' < acc then invalid_arg "Ramsey.factorial: overflow";
+      go acc' (i + 1)
+    end
+  in
+  go 1 1
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      let next = !acc * (n - k + i) / i in
+      overflow_guard "Ramsey.binomial" next;
+      acc := next
+    done;
+    !acc
+  end
+
+let triangle_bound ~colors =
+  if colors < 1 then invalid_arg "Ramsey.triangle_bound: need >= 1 colour";
+  (* R_s(3) <= floor(s! * e) + 1 = 1 + sum_{i=0..s} s!/i!  (Greenwood-
+     Gleason style bound) *)
+  let s = colors in
+  let total = ref 0 in
+  let term = ref 1 in
+  (* term = s! / i! computed downwards from i = s (term 1) to i = 0 *)
+  for i = s downto 0 do
+    total := !total + !term;
+    overflow_guard "Ramsey.triangle_bound" !total;
+    if i >= 1 then begin
+      term := !term * i;
+      overflow_guard "Ramsey.triangle_bound" !term
+    end
+  done;
+  !total + 1
+
+let ramsey_upper ~colors ~clique =
+  if colors < 1 || clique < 1 then
+    invalid_arg "Ramsey.ramsey_upper: need colors, clique >= 1";
+  let memo : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  (* args: multiset of clique targets, sorted *)
+  let rec r args =
+    match args with
+    | [] -> 1
+    | _ when List.mem 1 args -> 1
+    | [ m ] -> m (* one colour: K_m appears at n = m *)
+    | _ when List.mem 2 args ->
+        (* R(2, rest) = R(rest): either some pair takes the "2" colour,
+           or the colouring never uses it *)
+        let rec drop_one = function
+          | 2 :: rest -> rest
+          | x :: rest -> x :: drop_one rest
+          | [] -> []
+        in
+        r (drop_one args)
+    | _ -> (
+        let args = List.sort compare args in
+        match Hashtbl.find_opt memo args with
+        | Some v -> v
+        | None ->
+            let s = List.length args in
+            let total =
+              List.fold_left ( + ) (2 - s)
+                (List.mapi
+                   (fun i _ ->
+                     r (List.mapi (fun j m -> if i = j then m - 1 else m) args))
+                   args)
+            in
+            overflow_guard "Ramsey.ramsey_upper" total;
+            Hashtbl.replace memo args total;
+            total)
+  in
+  r (List.init colors (fun _ -> clique))
+
+let monochromatic_triple ~color ~equal vs =
+  let arr = Array.of_list (List.sort_uniq compare vs) in
+  let n = Array.length arr in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         let cij = color arr.(i) arr.(j) in
+         for l = j + 1 to n - 1 do
+           if
+             equal cij (color arr.(i) arr.(l))
+             && equal cij (color arr.(j) arr.(l))
+           then begin
+             found := Some (arr.(i), arr.(j), arr.(l));
+             raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  !found
+
+let eliminate_until_ramsey_free ~color ~equal vs =
+  let rec go vs =
+    match monochromatic_triple ~color ~equal vs with
+    | None -> vs
+    | Some (_, v2, _) -> go (List.filter (fun v -> v <> v2) vs)
+  in
+  go (List.sort_uniq compare vs)

@@ -1,0 +1,30 @@
+(** VC dimension of the hypothesis classes [H_{k,ℓ,q}(G)].
+
+    Section 3 of the paper: on nowhere dense classes the VC dimension of
+    [H_{k,ℓ,q}(G)] is bounded by a constant [d(C, k, ℓ, q)] independent of
+    [|G|] (Adler–Adler), whereas on somewhere dense classes it grows.
+    Experiment E9 measures this contrast.
+
+    Shattering test used here: by Corollary 6, for a fixed parameter tuple
+    [w̄] the dichotomies realised on a set [S] of [k]-tuples are exactly
+    the labelings constant on the [q]-type classes of [{v̄·w̄ : v̄ ∈ S}];
+    [S] is shattered iff the union over [w̄] of those labeling sets covers
+    all [2^{|S|}] labelings. *)
+
+open Cgraph
+
+val dichotomy_count : Graph.t -> k:int -> ell:int -> q:int -> Graph.Tuple.t list -> int
+(** Number of distinct dichotomies of the given tuple set realised by
+    [H_{k,ℓ,q}(G)].  Requires [|S| <= 20]. *)
+
+val is_shattered : Graph.t -> k:int -> ell:int -> q:int -> Graph.Tuple.t list -> bool
+(** [dichotomy_count = 2^{|S|}]. *)
+
+val lower_bound :
+  ?seed:int -> ?attempts:int -> Graph.t -> k:int -> ell:int -> q:int -> max_d:int -> int
+(** Largest shattered set found by randomised + greedy search: a {e lower}
+    bound on [VC(H_{k,ℓ,q}(G))], capped at [max_d]. *)
+
+val exact_small : Graph.t -> k:int -> ell:int -> q:int -> max_d:int -> int
+(** Exact VC dimension by exhaustive search over subsets of [V^k] of size
+    [<= max_d + 1] (exponential; tiny graphs only). *)

@@ -1,0 +1,1 @@
+lib/fo/formula.ml: Format Hashtbl List Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/fo/formula.mli: Format

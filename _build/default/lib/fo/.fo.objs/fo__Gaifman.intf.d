@@ -1,0 +1,1 @@
+lib/fo/gaifman.mli:

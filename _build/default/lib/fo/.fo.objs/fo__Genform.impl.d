@@ -1,0 +1,1 @@
+lib/fo/genform.ml: Formula List Printf Random

@@ -1,0 +1,1 @@
+lib/fo/genform.mli: Formula

@@ -1,0 +1,1 @@
+lib/fo/localize.ml: Formula List Printf

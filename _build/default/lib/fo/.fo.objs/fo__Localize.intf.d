@@ -1,0 +1,1 @@
+lib/fo/localize.mli: Formula

@@ -1,0 +1,1 @@
+lib/fo/parser.ml: Formula List Printf String

@@ -1,0 +1,1 @@
+lib/fo/parser.mli: Formula

@@ -1,0 +1,1 @@
+lib/fo/prenex.mli: Formula

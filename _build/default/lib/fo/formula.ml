@@ -1,0 +1,328 @@
+type var = string
+
+type atom =
+  | Eq of var * var
+  | Edge of var * var
+  | Color of string * var
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of var * t
+  | Forall of var * t
+  | CountGe of int * var * t
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tru = True
+let fls = False
+let eq x y = Atom (Eq (x, y))
+let edge x y = Atom (Edge (x, y))
+let color c x = Atom (Color (c, x))
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ fs =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> flatten acc rest
+    | False :: _ -> None
+    | And gs :: rest -> flatten acc (gs @ rest)
+    | f :: rest -> flatten (f :: acc) rest
+  in
+  match flatten [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs -> And fs
+
+let or_ fs =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> flatten acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> flatten acc (gs @ rest)
+    | f :: rest -> flatten (f :: acc) rest
+  in
+  match flatten [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs -> Or fs
+
+let implies a b =
+  match (a, b) with
+  | False, _ -> True
+  | True, b -> b
+  | _, True -> True
+  | a, False -> not_ a
+  | a, b -> Implies (a, b)
+
+let iff a b =
+  match (a, b) with
+  | True, b -> b
+  | a, True -> a
+  | False, b -> not_ b
+  | a, False -> not_ a
+  | a, b -> Iff (a, b)
+
+let exists x f = match f with False -> False | f -> Exists (x, f)
+let forall x f = match f with True -> True | f -> Forall (x, f)
+
+let count_ge t x f =
+  if t < 0 then invalid_arg "Formula.count_ge: negative threshold";
+  if t = 0 then True
+  else match f with False -> False | f -> CountGe (t, x, f)
+let exists_many xs f = List.fold_right exists xs f
+let forall_many xs f = List.fold_right forall xs f
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec quantifier_rank = function
+  | True | False | Atom _ -> 0
+  | Not f -> quantifier_rank f
+  | And fs | Or fs ->
+      List.fold_left (fun acc f -> max acc (quantifier_rank f)) 0 fs
+  | Implies (a, b) | Iff (a, b) ->
+      max (quantifier_rank a) (quantifier_rank b)
+  | Exists (_, f) | Forall (_, f) | CountGe (_, _, f) -> 1 + quantifier_rank f
+
+module VSet = Set.Make (String)
+
+let atom_vars = function
+  | Eq (x, y) | Edge (x, y) -> VSet.of_list [ x; y ]
+  | Color (_, x) -> VSet.singleton x
+
+let rec free_set = function
+  | True | False -> VSet.empty
+  | Atom a -> atom_vars a
+  | Not f -> free_set f
+  | And fs | Or fs ->
+      List.fold_left (fun acc f -> VSet.union acc (free_set f)) VSet.empty fs
+  | Implies (a, b) | Iff (a, b) -> VSet.union (free_set a) (free_set b)
+  | Exists (x, f) | Forall (x, f) | CountGe (_, x, f) -> VSet.remove x (free_set f)
+
+let free_vars f = VSet.elements (free_set f)
+
+let rec all_set = function
+  | True | False -> VSet.empty
+  | Atom a -> atom_vars a
+  | Not f -> all_set f
+  | And fs | Or fs ->
+      List.fold_left (fun acc f -> VSet.union acc (all_set f)) VSet.empty fs
+  | Implies (a, b) | Iff (a, b) -> VSet.union (all_set a) (all_set b)
+  | Exists (x, f) | Forall (x, f) | CountGe (_, x, f) -> VSet.add x (all_set f)
+
+let all_vars f = VSet.elements (all_set f)
+
+module SSet = Set.Make (String)
+
+let colors_used f =
+  let rec go acc = function
+    | True | False -> acc
+    | Atom (Color (c, _)) -> SSet.add c acc
+    | Atom _ -> acc
+    | Not f -> go acc f
+    | And fs | Or fs -> List.fold_left go acc fs
+    | Implies (a, b) | Iff (a, b) -> go (go acc a) b
+    | Exists (_, f) | Forall (_, f) | CountGe (_, _, f) -> go acc f
+  in
+  SSet.elements (go SSet.empty f)
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+  | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
+  | Exists (_, f) | Forall (_, f) | CountGe (_, _, f) -> 1 + size f
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (f : t) = Hashtbl.hash f
+
+(* ------------------------------------------------------------------ *)
+(* Renaming and substitution                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_var ~avoid base =
+  if not (List.mem base avoid) then base
+  else begin
+    let rec go i =
+      let cand = Printf.sprintf "%s%d" base i in
+      if List.mem cand avoid then go (i + 1) else cand
+    in
+    go 0
+  end
+
+let rename sigma f =
+  (* capture-avoiding: when entering a binder whose variable collides with
+     the image of a free variable, refresh the bound variable first. *)
+  let rec go sigma f =
+    match f with
+    | True | False -> f
+    | Atom (Eq (x, y)) -> Atom (Eq (sigma x, sigma y))
+    | Atom (Edge (x, y)) -> Atom (Edge (sigma x, sigma y))
+    | Atom (Color (c, x)) -> Atom (Color (c, sigma x))
+    | Not f -> Not (go sigma f)
+    | And fs -> And (List.map (go sigma) fs)
+    | Or fs -> Or (List.map (go sigma) fs)
+    | Implies (a, b) -> Implies (go sigma a, go sigma b)
+    | Iff (a, b) -> Iff (go sigma a, go sigma b)
+    | Exists (x, body) ->
+        let x', body' = refresh sigma x body in
+        Exists (x', go (under x' sigma) body')
+    | Forall (x, body) ->
+        let x', body' = refresh sigma x body in
+        Forall (x', go (under x' sigma) body')
+    | CountGe (t, x, body) ->
+        let x', body' = refresh sigma x body in
+        CountGe (t, x', go (under x' sigma) body')
+  and under x sigma y = if y = x then x else sigma y
+  and refresh sigma x body =
+    let fv = VSet.remove x (free_set body) in
+    let images = VSet.elements fv |> List.map sigma in
+    if List.mem x images then begin
+      let avoid = images @ VSet.elements (all_set body) in
+      let x' = fresh_var ~avoid x in
+      let body' =
+        go (fun y -> if y = x then x' else y) body
+      in
+      (x', body')
+    end
+    else (x, body)
+  in
+  go sigma f
+
+let substitute assoc f =
+  rename (fun x -> match List.assoc_opt x assoc with Some y -> y | None -> x) f
+
+let rec map_atoms h = function
+  | True -> True
+  | False -> False
+  | Atom a -> h a
+  | Not f -> not_ (map_atoms h f)
+  | And fs -> and_ (List.map (map_atoms h) fs)
+  | Or fs -> or_ (List.map (map_atoms h) fs)
+  | Implies (a, b) -> implies (map_atoms h a) (map_atoms h b)
+  | Iff (a, b) -> iff (map_atoms h a) (map_atoms h b)
+  | Exists (x, f) -> exists x (map_atoms h f)
+  | Forall (x, f) -> forall x (map_atoms h f)
+  | CountGe (t, x, f) -> count_ge t x (map_atoms h f)
+
+(* ------------------------------------------------------------------ *)
+(* Normal forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec nnf f =
+  match f with
+  | True | False | Atom _ -> f
+  | Implies (a, b) -> nnf (Or [ Not a; b ])
+  | Iff (a, b) -> nnf (Or [ And [ a; b ]; And [ Not a; Not b ] ])
+  | And fs -> and_ (List.map nnf fs)
+  | Or fs -> or_ (List.map nnf fs)
+  | Exists (x, f) -> exists x (nnf f)
+  | Forall (x, f) -> forall x (nnf f)
+  | CountGe (t, x, f) -> count_ge t x (nnf f)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom _ -> Not g
+      | Not h -> nnf h
+      | And fs -> or_ (List.map (fun f -> nnf (Not f)) fs)
+      | Or fs -> and_ (List.map (fun f -> nnf (Not f)) fs)
+      | Implies (a, b) -> nnf (And [ a; Not b ])
+      | Iff (a, b) -> nnf (Or [ And [ a; Not b ]; And [ Not a; b ] ])
+      | Exists (x, f) -> forall x (nnf (Not f))
+      | Forall (x, f) -> exists x (nnf (Not f))
+      | CountGe (t, x, f) ->
+          (* "< t" has no positive form in our syntax; keep the guarded
+             negation, whose operand is in NNF *)
+          not_ (count_ge t x (nnf f)))
+
+let rec simplify f =
+  match f with
+  | True | False -> f
+  | Atom (Eq (x, y)) when x = y -> True
+  | Atom _ -> f
+  | Not f -> not_ (simplify f)
+  | And fs -> and_ (List.sort_uniq Stdlib.compare (List.map simplify fs))
+  | Or fs -> or_ (List.sort_uniq Stdlib.compare (List.map simplify fs))
+  | Implies (a, b) -> implies (simplify a) (simplify b)
+  | Iff (a, b) -> iff (simplify a) (simplify b)
+  | Exists (x, f) ->
+      let f = simplify f in
+      if not (VSet.mem x (free_set f)) then f else exists x f
+  | Forall (x, f) ->
+      let f = simplify f in
+      if not (VSet.mem x (free_set f)) then f else forall x f
+  | CountGe (t, x, f) -> count_ge t x (simplify f)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* precedence levels: 0 = iff, 1 = implies, 2 = or, 3 = and, 4 = unary *)
+let rec pp_prec lvl ppf f =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom (Eq (x, y)) -> Format.fprintf ppf "%s = %s" x y
+  | Atom (Edge (x, y)) -> Format.fprintf ppf "E(%s, %s)" x y
+  | Atom (Color (c, x)) -> Format.fprintf ppf "%s(%s)" c x
+  | Not f ->
+      Format.pp_print_string ppf "~";
+      pp_prec 4 ppf f
+  | And fs ->
+      paren (lvl > 3) (fun ppf ->
+          Format.pp_open_hvbox ppf 0;
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf " /\\@ ")
+            (pp_prec 4) ppf fs;
+          Format.pp_close_box ppf ())
+  | Or fs ->
+      paren (lvl > 2) (fun ppf ->
+          Format.pp_open_hvbox ppf 0;
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf " \\/@ ")
+            (pp_prec 3) ppf fs;
+          Format.pp_close_box ppf ())
+  | Implies (a, b) ->
+      paren (lvl > 1) (fun ppf ->
+          Format.fprintf ppf "%a -> %a" (pp_prec 2) a (pp_prec 1) b)
+  | Iff (a, b) ->
+      paren (lvl > 0) (fun ppf ->
+          Format.fprintf ppf "%a <-> %a" (pp_prec 1) a (pp_prec 1) b)
+  | Exists (x, f) ->
+      paren (lvl > 0) (fun ppf ->
+          Format.fprintf ppf "exists %s.@ %a" x (pp_prec 0) f)
+  | Forall (x, f) ->
+      paren (lvl > 0) (fun ppf ->
+          Format.fprintf ppf "forall %s.@ %a" x (pp_prec 0) f)
+  | CountGe (t, x, f) ->
+      paren (lvl > 0) (fun ppf ->
+          Format.fprintf ppf "atleast %d %s.@ %a" t x (pp_prec 0) f)
+
+let pp ppf f =
+  Format.pp_open_hvbox ppf 0;
+  pp_prec 0 ppf f;
+  Format.pp_close_box ppf ()
+
+let to_string f = Format.asprintf "%a" pp f

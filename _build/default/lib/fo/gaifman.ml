@@ -1,0 +1,10 @@
+let radius q =
+  if q < 0 then invalid_arg "Gaifman.radius: negative quantifier rank";
+  if q > 21 then invalid_arg "Gaifman.radius: 7^q overflows on this platform";
+  let rec pow7 q = if q = 0 then 1 else 7 * pow7 (q - 1) in
+  (pow7 q - 1) / 2
+
+let rank_overhead r =
+  if r < 0 then invalid_arg "Gaifman.rank_overhead: negative radius";
+  let rec go acc cover = if cover >= r then acc else go (acc + 1) (2 * cover) in
+  if r <= 1 then 0 else go 0 1

@@ -1,0 +1,20 @@
+(** The locality radius of Fact 5 (a consequence of Gaifman's theorem).
+
+    Fact 5: there is an [r = r(q) in 2^{O(q)}], independent of the
+    vocabulary, such that tuples with equal local [(q, r)]-types have equal
+    [q]-types.  The classical bound extracted from Gaifman's proof is
+    [r(q) = (7^q - 1) / 2].
+
+    Substitution note (DESIGN.md §5): the bound is astronomical already for
+    moderate [q]; all algorithms take the radius as an explicit argument,
+    defaulting to {!radius}, so experiments can run the same code at a
+    feasible radius while property tests check Fact 5 at the radius used. *)
+
+val radius : int -> int
+(** [radius q = (7^q - 1) / 2]: Gaifman locality radius for quantifier
+    rank [q].  [radius 0 = 0], [radius 1 = 3], [radius 2 = 24].
+    @raise Invalid_argument on negative rank or overflow ([q > 21]). *)
+
+val rank_overhead : int -> int
+(** [rank_overhead r]: the quantifier-rank cost [ceil(log2 r)] of making a
+    formula [r]-local (the [O(max(q, log r))] of the hardness proof). *)

@@ -1,0 +1,22 @@
+(** Seeded random formula generation, for property tests, fuzzing the
+    evaluator/parser, and workload synthesis in the benches. *)
+
+type config = {
+  free_vars : Formula.var list;  (** variables allowed free *)
+  colors : string list;  (** colour predicates to draw atoms from *)
+  max_depth : int;  (** connective nesting bound *)
+  allow_counting : bool;  (** include [∃^{>=t}] quantifiers (t <= 3) *)
+}
+
+val default : config
+(** free vars [x, y], colours [Red; Blue], depth 4, no counting. *)
+
+val formula : ?config:config -> seed:int -> unit -> Formula.t
+(** A random formula (deterministic per seed). *)
+
+val sentence : ?config:config -> seed:int -> unit -> Formula.t
+(** A random {e sentence}: a random formula with one free variable,
+    closed universally or existentially. *)
+
+val batch : ?config:config -> seed:int -> int -> Formula.t list
+(** [batch ~seed n]: [n] formulas from consecutive derived seeds. *)

@@ -1,0 +1,273 @@
+exception Parse_error of string
+
+type token =
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | NOT
+  | AND
+  | OR
+  | IMPLIES
+  | IFF
+  | TRUE
+  | FALSE
+  | EXISTS
+  | FORALL
+  | ATLEAST
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | NOT -> "'~'"
+  | AND -> "'/\\'"
+  | OR -> "'\\/'"
+  | IMPLIES -> "'->'"
+  | IFF -> "'<->'"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | EXISTS -> "'exists'"
+  | FORALL -> "'forall'"
+  | ATLEAST -> "'atleast'"
+  | EOF -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = '.' then (emit DOT; incr i)
+    else if c = '~' then (emit NOT; incr i)
+    else if c = '&' then (emit AND; incr i)
+    else if c = '|' then (emit OR; incr i)
+    else if c = '=' then (emit EQ; incr i)
+    else if c = '!' && !i + 1 < n && input.[!i + 1] = '=' then (emit NEQ; i := !i + 2)
+    else if c = '/' && !i + 1 < n && input.[!i + 1] = '\\' then (emit AND; i := !i + 2)
+    else if c = '\\' && !i + 1 < n && input.[!i + 1] = '/' then (emit OR; i := !i + 2)
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '>' then (emit IMPLIES; i := !i + 2)
+    else if c = '<' && !i + 2 < n && input.[!i + 1] = '-' && input.[!i + 2] = '>'
+    then (emit IFF; i := !i + 3)
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do incr i done;
+      let word = String.sub input start (!i - start) in
+      match word with
+      | "true" -> emit TRUE
+      | "false" -> emit FALSE
+      | "not" -> emit NOT
+      | "and" -> emit AND
+      | "or" -> emit OR
+      | "exists" -> emit EXISTS
+      | "forall" -> emit FORALL
+      | "atleast" -> emit ATLEAST
+      | w -> emit (IDENT w)
+    end
+    else
+      raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  emit EOF;
+  List.rev !tokens
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  let got = peek st in
+  if got = t then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (token_to_string t)
+            (token_to_string got)))
+
+let expect_ident st =
+  match peek st with
+  | IDENT x ->
+      advance st;
+      x
+  | got ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected an identifier but found %s"
+              (token_to_string got)))
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_impl st in
+  let rec loop acc =
+    match peek st with
+    | IFF ->
+        advance st;
+        let rhs = parse_impl st in
+        loop (Formula.iff acc rhs)
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_impl st =
+  let lhs = parse_or st in
+  match peek st with
+  | IMPLIES ->
+      advance st;
+      let rhs = parse_impl st in
+      Formula.implies lhs rhs
+  | _ -> lhs
+
+and parse_or st =
+  let first = parse_and st in
+  let rec loop acc =
+    match peek st with
+    | OR ->
+        advance st;
+        loop (parse_and st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ f ] -> f | fs -> Formula.or_ fs
+
+and parse_and st =
+  let first = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | AND ->
+        advance st;
+        loop (parse_unary st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ f ] -> f | fs -> Formula.and_ fs
+
+and parse_unary st =
+  match peek st with
+  | NOT ->
+      advance st;
+      Formula.not_ (parse_unary st)
+  | ATLEAST ->
+      advance st;
+      let t =
+        match peek st with
+        | IDENT n -> (
+            advance st;
+            match int_of_string_opt n with
+            | Some t when t >= 0 -> t
+            | _ ->
+                raise
+                  (Parse_error
+                     (Printf.sprintf
+                        "atleast needs a non-negative threshold, got %S" n)))
+        | got ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "atleast needs a threshold but found %s"
+                    (token_to_string got)))
+      in
+      let x = expect_ident st in
+      expect st DOT;
+      let body = parse_formula st in
+      Formula.count_ge t x body
+  | EXISTS | FORALL ->
+      let quant = peek st in
+      advance st;
+      let rec idents acc =
+        match peek st with
+        | IDENT x ->
+            advance st;
+            idents (x :: acc)
+        | _ -> List.rev acc
+      in
+      let xs = idents [] in
+      if xs = [] then
+        raise (Parse_error "quantifier must bind at least one variable");
+      expect st DOT;
+      let body = parse_formula st in
+      if quant = EXISTS then Formula.exists_many xs body
+      else Formula.forall_many xs body
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | TRUE ->
+      advance st;
+      Formula.tru
+  | FALSE ->
+      advance st;
+      Formula.fls
+  | LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN;
+      f
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | EQ ->
+          advance st;
+          Formula.eq name (expect_ident st)
+      | NEQ ->
+          advance st;
+          Formula.not_ (Formula.eq name (expect_ident st))
+      | LPAREN ->
+          advance st;
+          let a = expect_ident st in
+          let f =
+            match peek st with
+            | COMMA ->
+                advance st;
+                let b = expect_ident st in
+                if name = "E" then Formula.edge a b
+                else
+                  raise
+                    (Parse_error
+                       (Printf.sprintf
+                          "binary predicate %S is not part of the vocabulary"
+                          name))
+            | _ ->
+                if name = "E" then
+                  raise (Parse_error "edge predicate E needs two arguments")
+                else Formula.color name a
+          in
+          expect st RPAREN;
+          f
+      | got ->
+          raise
+            (Parse_error
+               (Printf.sprintf
+                  "identifier %S must begin an atom; found %s instead" name
+                  (token_to_string got))))
+  | got ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected a formula but found %s"
+              (token_to_string got)))
+
+let parse input =
+  let st = { toks = lex input } in
+  let f = parse_formula st in
+  expect st EOF;
+  f
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None

@@ -1,0 +1,29 @@
+(** A hand-written recursive-descent parser for the concrete formula syntax
+    produced by {!Formula.pp}.
+
+    Grammar (precedence increasing downwards, [->] right-associative):
+    {v
+      formula := iff
+      iff     := impl ('<->' impl)*
+      impl    := or ('->' impl)?
+      or      := and (('\/' | 'or' | '|') and)*
+      and     := unary (('/\' | 'and' | '&') unary)*
+      unary   := ('~' | 'not') unary | quantified | primary
+      quantified := ('exists' | 'forall') ident+ '.' formula
+                   | 'atleast' nat ident '.' formula        (counting)
+      primary := '(' formula ')' | 'true' | 'false' | atom
+      atom    := ident '=' ident | ident '!=' ident
+               | 'E' '(' ident ',' ident ')'       (edge)
+               | ident '(' ident ')'               (colour)
+    v}
+
+    Quantifier bodies extend as far right as possible. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message pointing at the offending token. *)
+
+val parse : string -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Formula.t option
+(** Like {!parse} but returns [None] instead of raising. *)

@@ -1,0 +1,57 @@
+exception Unsupported of string
+
+let rec quantifier_free = function
+  | Formula.True | Formula.False | Formula.Atom _ -> true
+  | Formula.Not f -> quantifier_free f
+  | Formula.And fs | Formula.Or fs -> List.for_all quantifier_free fs
+  | Formula.Implies (a, b) | Formula.Iff (a, b) ->
+      quantifier_free a && quantifier_free b
+  | Formula.Exists _ | Formula.Forall _ | Formula.CountGe _ -> false
+
+let rec is_prenex = function
+  | Formula.Exists (_, f) | Formula.Forall (_, f) -> is_prenex f
+  | f -> quantifier_free f
+
+let rec prefix_length = function
+  | Formula.Exists (_, f) | Formula.Forall (_, f) -> 1 + prefix_length f
+  | _ -> 0
+
+type quant = Ex of Formula.var | All of Formula.var
+
+let to_prenex phi =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "_p%d" !counter
+  in
+  (* input in NNF: atoms, negated atoms, and/or, quantifiers *)
+  let rec pull (f : Formula.t) : quant list * Formula.t =
+    match f with
+    | True | False | Atom _ | Not (Atom _) -> ([], f)
+    | Exists (x, body) ->
+        let x' = fresh () in
+        let prefix, matrix = pull (Formula.substitute [ (x, x') ] body) in
+        (Ex x' :: prefix, matrix)
+    | Forall (x, body) ->
+        let x' = fresh () in
+        let prefix, matrix = pull (Formula.substitute [ (x, x') ] body) in
+        (All x' :: prefix, matrix)
+    | And fs ->
+        let parts = List.map pull fs in
+        (List.concat_map fst parts, Formula.and_ (List.map snd parts))
+    | Or fs ->
+        let parts = List.map pull fs in
+        (List.concat_map fst parts, Formula.or_ (List.map snd parts))
+    | CountGe _ | Not (CountGe _) ->
+        raise (Unsupported "counting quantifiers have no prenex form here")
+    | Not _ | Implies _ | Iff _ ->
+        (* cannot happen after NNF *)
+        assert false
+  in
+  let prefix, matrix = pull (Formula.nnf phi) in
+  List.fold_right
+    (fun q acc ->
+      match q with
+      | Ex x -> Formula.exists x acc
+      | All x -> Formula.forall x acc)
+    prefix matrix

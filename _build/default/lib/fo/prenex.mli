@@ -1,0 +1,22 @@
+(** Prenex normal form for plain first-order formulas.
+
+    Every FO formula is equivalent to one of the shape
+    [Q_1 v_1 ... Q_p v_p. matrix] with a quantifier-free matrix.  The
+    transformation goes through NNF and extracts quantifiers with fresh
+    bound-variable names, so it is capture-safe; the number of
+    quantifiers is preserved but the quantifier {e rank} may grow (a
+    conjunction of two rank-1 formulas becomes rank 2). *)
+
+exception Unsupported of string
+(** Raised on counting quantifiers: [∃^{>=t}] does not commute with the
+    connectives the way plain quantifiers do. *)
+
+val to_prenex : Formula.t -> Formula.t
+(** Logically equivalent prenex form.  @raise Unsupported on counting. *)
+
+val is_prenex : Formula.t -> bool
+(** Is the formula already of prenex shape? *)
+
+val prefix_length : Formula.t -> int
+(** Number of leading quantifiers ([0] if not prenex-shaped at all —
+    simply counts the leading spine). *)

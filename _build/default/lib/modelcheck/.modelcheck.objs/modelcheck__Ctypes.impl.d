@@ -1,0 +1,1 @@
+lib/modelcheck/ctypes.ml: Array Cgraph Fo Format Graph Hashtbl Hintikka List Ops Option Printf Stdlib Types

@@ -1,0 +1,1 @@
+lib/modelcheck/ctypes.mli: Cgraph Fo Format Graph Types

@@ -1,0 +1,1 @@
+lib/modelcheck/ef.ml: Array Cgraph Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/modelcheck/ef.mli: Cgraph Graph

@@ -1,0 +1,1 @@
+lib/modelcheck/eval.ml: Array Cgraph Fo Graph List Map String

@@ -1,0 +1,1 @@
+lib/modelcheck/eval.mli: Cgraph Fo Graph

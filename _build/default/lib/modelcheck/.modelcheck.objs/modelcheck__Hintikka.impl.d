@@ -1,0 +1,1 @@
+lib/modelcheck/hintikka.ml: Array Fo List Printf Types

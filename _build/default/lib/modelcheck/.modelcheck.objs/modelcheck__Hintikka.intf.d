@@ -1,0 +1,1 @@
+lib/modelcheck/hintikka.mli: Cgraph Fo Types

@@ -1,0 +1,1 @@
+lib/modelcheck/locality.ml: Cgraph Graph List Types

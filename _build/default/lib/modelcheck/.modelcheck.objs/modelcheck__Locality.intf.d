@@ -1,0 +1,1 @@
+lib/modelcheck/locality.mli: Cgraph Graph Types

@@ -1,0 +1,1 @@
+lib/modelcheck/relational.ml: Array Cgraph Fo Format Fun Graph Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/modelcheck/relational.mli: Cgraph Fo Format Graph

@@ -1,0 +1,1 @@
+lib/modelcheck/types.ml: Array Cgraph Format Graph Hashtbl List Ops Stdlib

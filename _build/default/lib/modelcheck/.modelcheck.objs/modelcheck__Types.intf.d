@@ -1,0 +1,1 @@
+lib/modelcheck/types.mli: Cgraph Format Graph

@@ -1,0 +1,58 @@
+open Cgraph
+
+let partial_isomorphism g u h v =
+  let k = Array.length u in
+  Array.length v = k
+  && begin
+       let ok = ref true in
+       for i = 0 to k - 1 do
+         for j = i + 1 to k - 1 do
+           if (u.(i) = u.(j)) <> (v.(i) = v.(j)) then ok := false;
+           if Graph.mem_edge g u.(i) u.(j) <> Graph.mem_edge h v.(i) v.(j)
+           then ok := false
+         done
+       done;
+       for i = 0 to k - 1 do
+         if Graph.colors_of g u.(i) <> Graph.colors_of h v.(i) then ok := false
+       done;
+       !ok
+     end
+
+let equiv ~q g u h v =
+  if q < 0 then invalid_arg "Ef.equiv: negative round count";
+  let memo : (int * Graph.Tuple.t * Graph.Tuple.t, bool) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let rec go q u v =
+    match Hashtbl.find_opt memo (q, u, v) with
+    | Some b -> b
+    | None ->
+        let result =
+          partial_isomorphism g u h v
+          && (q = 0
+             || (spoiler_loses q g u h v (fun w w' ->
+                     go (q - 1) (Graph.Tuple.append u [| w |])
+                       (Graph.Tuple.append v [| w' |]))
+                && spoiler_loses q h v g u (fun w' w ->
+                       go (q - 1)
+                         (Graph.Tuple.append u [| w |])
+                         (Graph.Tuple.append v [| w' |]))))
+        in
+        Hashtbl.replace memo (q, u, v) result;
+        result
+  and spoiler_loses _q side_a _ua side_b _ub answer =
+    (* for every Spoiler move in [side_a], Duplicator has a reply in
+       [side_b] *)
+    List.for_all
+      (fun w -> List.exists (fun w' -> answer w w') (Graph.vertices side_b))
+      (Graph.vertices side_a)
+  in
+  go q u v
+
+let rank_distinguishing ~max_q g u h v =
+  let rec go q =
+    if q > max_q then None
+    else if not (equiv ~q g u h v) then Some q
+    else go (q + 1)
+  in
+  go 0

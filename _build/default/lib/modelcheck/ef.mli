@@ -1,0 +1,22 @@
+(** Ehrenfeucht–Fraïssé games.
+
+    [(G, ū)] and [(H, v̄)] are [q]-equivalent (Duplicator wins the
+    [q]-round EF game) iff [tp_q(G, ū) = tp_q(H, v̄)].  This module is an
+    {e independent} implementation of type equality used to cross-validate
+    the canonical type construction of {!Types} in the test suite. *)
+
+open Cgraph
+
+val partial_isomorphism : Graph.t -> Graph.Tuple.t -> Graph.t -> Graph.Tuple.t -> bool
+(** Do the tuples induce a partial isomorphism (equalities, edges and
+    colours agree position-wise)?  This is 0-equivalence. *)
+
+val equiv : q:int -> Graph.t -> Graph.Tuple.t -> Graph.t -> Graph.Tuple.t -> bool
+(** [equiv ~q g u h v]: does Duplicator win the [q]-round game from
+    position [(ū, v̄)]?  Memoised per call; cost is
+    [O((|G| * |H|)^q)] in the worst case, so keep [q] and the graphs small
+    (this function exists for validation, not production use). *)
+
+val rank_distinguishing :
+  max_q:int -> Graph.t -> Graph.Tuple.t -> Graph.t -> Graph.Tuple.t -> int option
+(** Least [q <= max_q] with the tuples {e not} [q]-equivalent, if any. *)

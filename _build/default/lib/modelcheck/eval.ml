@@ -1,0 +1,83 @@
+open Cgraph
+
+type env = (Fo.Formula.var * Graph.vertex) list
+
+exception Unbound_variable of Fo.Formula.var
+
+module VMap = Map.Make (String)
+
+let lookup env x =
+  match VMap.find_opt x env with
+  | Some v -> v
+  | None -> raise (Unbound_variable x)
+
+let rec eval g env (f : Fo.Formula.t) =
+  match f with
+  | True -> true
+  | False -> false
+  | Atom (Eq (x, y)) -> lookup env x = lookup env y
+  | Atom (Edge (x, y)) -> Graph.mem_edge g (lookup env x) (lookup env y)
+  | Atom (Color (c, x)) -> Graph.has_color g c (lookup env x)
+  | Not f -> not (eval g env f)
+  | And fs -> List.for_all (eval g env) fs
+  | Or fs -> List.exists (eval g env) fs
+  | Implies (a, b) -> (not (eval g env a)) || eval g env b
+  | Iff (a, b) -> eval g env a = eval g env b
+  | Exists (x, body) ->
+      let n = Graph.order g in
+      let rec try_from v =
+        v < n && (eval g (VMap.add x v env) body || try_from (v + 1))
+      in
+      try_from 0
+  | Forall (x, body) ->
+      let n = Graph.order g in
+      let rec all_from v =
+        v >= n || (eval g (VMap.add x v env) body && all_from (v + 1))
+      in
+      all_from 0
+  | CountGe (t, x, body) ->
+      let n = Graph.order g in
+      let rec count_from v found =
+        found >= t
+        || (v < n
+           && count_from (v + 1)
+                (if eval g (VMap.add x v env) body then found + 1 else found))
+      in
+      count_from 0 0
+
+let holds g env f =
+  let env = List.fold_left (fun m (x, v) -> VMap.add x v m) VMap.empty env in
+  eval g env f
+
+let sentence g f = holds g [] f
+
+let holds_tuple g ~vars t f =
+  if List.length vars <> Array.length t then
+    invalid_arg "Eval.holds_tuple: variable/tuple length mismatch";
+  holds g (List.mapi (fun i x -> (x, t.(i))) vars) f
+
+let answers g ~vars f =
+  let n = Graph.order g in
+  let k = List.length vars in
+  List.filter
+    (fun t -> holds_tuple g ~vars t f)
+    (Graph.Tuple.all ~n ~k)
+
+let count_answers g ~vars f =
+  let n = Graph.order g in
+  let vars_arr = Array.of_list vars in
+  let k = Array.length vars_arr in
+  let t = Array.make k 0 in
+  let count = ref 0 in
+  let rec go i env =
+    if i = k then begin
+      if eval g env f then incr count
+    end
+    else
+      for v = 0 to n - 1 do
+        t.(i) <- v;
+        go (i + 1) (VMap.add vars_arr.(i) v env)
+      done
+  in
+  go 0 VMap.empty;
+  !count

@@ -1,0 +1,198 @@
+open Cgraph
+
+exception Ill_formed of string
+
+module SMap = Map.Make (String)
+
+type structure = {
+  n : int;
+  rels : (int * int array list) SMap.t; (* name -> (arity, facts) *)
+}
+
+let create ~n ~relations =
+  if n < 0 then raise (Ill_formed "negative universe size");
+  let rels =
+    List.fold_left
+      (fun acc (name, arity, facts) ->
+        if SMap.mem name acc then
+          raise (Ill_formed (Printf.sprintf "duplicate relation %S" name));
+        if arity < 1 then
+          raise (Ill_formed (Printf.sprintf "relation %S: arity must be >= 1" name));
+        List.iter
+          (fun fact ->
+            if Array.length fact <> arity then
+              raise
+                (Ill_formed
+                   (Printf.sprintf "relation %S: fact of wrong arity" name));
+            Array.iter
+              (fun a ->
+                if a < 0 || a >= n then
+                  raise
+                    (Ill_formed
+                       (Printf.sprintf "relation %S: element %d out of range"
+                          name a)))
+              fact)
+          facts;
+        SMap.add name (arity, List.sort_uniq compare facts) acc)
+      SMap.empty relations
+  in
+  { n; rels }
+
+let universe s = List.init s.n Fun.id
+let relation_names s = List.map fst (SMap.bindings s.rels)
+
+let arity s name = fst (SMap.find name s.rels)
+let facts s name = try snd (SMap.find name s.rels) with Not_found -> []
+
+let holds s name fact =
+  match SMap.find_opt name s.rels with
+  | None -> false
+  | Some (k, fs) -> Array.length fact = k && List.mem fact fs
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>structure: universe of %d elements@," s.n;
+  SMap.iter
+    (fun name (k, fs) ->
+      Format.fprintf ppf "%s/%d: {%a}@," name k
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf fact ->
+             Format.fprintf ppf "(%s)"
+               (String.concat ","
+                  (List.map string_of_int (Array.to_list fact)))))
+        fs)
+    s.rels;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type query =
+  | RTrue
+  | RFalse
+  | REq of string * string
+  | RAtom of string * string list
+  | RNot of query
+  | RAnd of query list
+  | ROr of query list
+  | RExists of string * query
+  | RForall of string * query
+
+let eval s env0 query =
+  let rec go env = function
+    | RTrue -> true
+    | RFalse -> false
+    | REq (x, y) -> List.assoc x env = List.assoc y env
+    | RAtom (name, vars) ->
+        let k, fs = SMap.find name s.rels in
+        if List.length vars <> k then
+          raise
+            (Ill_formed (Printf.sprintf "atom %S: wrong number of arguments" name));
+        let fact = Array.of_list (List.map (fun v -> List.assoc v env) vars) in
+        List.mem fact fs
+    | RNot f -> not (go env f)
+    | RAnd fs -> List.for_all (go env) fs
+    | ROr fs -> List.exists (go env) fs
+    | RExists (x, f) ->
+        List.exists (fun a -> go ((x, a) :: env) f) (universe s)
+    | RForall (x, f) ->
+        List.for_all (fun a -> go ((x, a) :: env) f) (universe s)
+  in
+  go env0 query
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let elem_color = "_Elem"
+let rel_color name = "_Rel_" ^ name
+let pos_color i = Printf.sprintf "_Pos_%d" i
+
+type encoding = {
+  graph : Graph.t;
+  element : int -> Graph.vertex;
+}
+
+let encode s =
+  (* vertices: 0..n-1 elements, then per fact one fact vertex and [arity]
+     connector vertices *)
+  let next = ref s.n in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let edges = ref [] in
+  let rel_members : (string, Graph.vertex list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let pos_members : (int, Graph.vertex list ref) Hashtbl.t = Hashtbl.create 8 in
+  let add tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some cell -> cell := v :: !cell
+    | None -> Hashtbl.replace tbl key (ref [ v ])
+  in
+  SMap.iter
+    (fun name (_, fs) ->
+      List.iter
+        (fun fact ->
+          let f = fresh () in
+          add rel_members name f;
+          Array.iteri
+            (fun i a ->
+              let p = fresh () in
+              add pos_members (i + 1) p;
+              (* direct fact-element edge keeps element-element
+                 distances short (2 through a shared fact); the
+                 connector p encodes the argument position *)
+              edges := (f, a) :: (f, p) :: (p, a) :: !edges)
+            fact)
+        fs)
+    s.rels;
+  let colors =
+    (elem_color, List.init s.n Fun.id)
+    :: Hashtbl.fold
+         (fun name cell acc -> (rel_color name, !cell) :: acc)
+         rel_members []
+    @ Hashtbl.fold
+        (fun i cell acc -> (pos_color i, !cell) :: acc)
+        pos_members []
+  in
+  let graph = Graph.create ~n:!next ~edges:!edges ~colors in
+  { graph; element = Fun.id }
+
+let translate query =
+  let module F = Fo.Formula in
+  let fact_var avoid = F.fresh_var ~avoid "f" in
+  let conn_var avoid = F.fresh_var ~avoid "p" in
+  let rec go = function
+    | RTrue -> F.tru
+    | RFalse -> F.fls
+    | REq (x, y) -> F.eq x y
+    | RAtom (name, vars) ->
+        let avoid = vars in
+        let f = fact_var avoid in
+        let body =
+          List.mapi
+            (fun i x ->
+              let p = conn_var (f :: avoid) in
+              F.exists p
+                (F.and_
+                   [
+                     F.color (pos_color (i + 1)) p;
+                     F.edge f p;
+                     F.edge p x;
+                   ]))
+            vars
+        in
+        F.exists f (F.and_ (F.color (rel_color name) f :: body))
+    | RNot f -> F.not_ (go f)
+    | RAnd fs -> F.and_ (List.map go fs)
+    | ROr fs -> F.or_ (List.map go fs)
+    | RExists (x, f) ->
+        F.exists x (F.and_ [ F.color elem_color x; go f ])
+    | RForall (x, f) ->
+        F.forall x (F.implies (F.color elem_color x) (go f))
+  in
+  go query

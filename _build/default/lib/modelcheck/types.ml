@@ -1,0 +1,154 @@
+open Cgraph
+
+type ty = int
+
+let equal (a : ty) (b : ty) = a = b
+let compare (a : ty) (b : ty) = Stdlib.compare a b
+let hash (a : ty) = a
+let pp ppf (a : ty) = Format.fprintf ppf "#%d" a
+
+type atomsig = {
+  sig_arity : int;
+  eqs : (int * int) list;
+  edgs : (int * int) list;
+  cols : string list array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Global hash-consing registry                                        *)
+(* ------------------------------------------------------------------ *)
+
+type key = atomsig * ty list option
+(* children sorted & deduplicated; None = rank 0 *)
+
+type entry = { key : key; entry_rank : int }
+
+let table : (key, ty) Hashtbl.t = Hashtbl.create 4096
+let entries : entry array ref = ref (Array.make 1024 { key = ({ sig_arity = 0; eqs = []; edgs = []; cols = [||] }, None); entry_rank = -1 })
+let next_id = ref 0
+
+let intern key entry_rank =
+  match Hashtbl.find_opt table key with
+  | Some id -> id
+  | None ->
+      let id = !next_id in
+      incr next_id;
+      if id >= Array.length !entries then begin
+        let bigger =
+          Array.make (2 * Array.length !entries) (!entries).(0)
+        in
+        Array.blit !entries 0 bigger 0 (Array.length !entries);
+        entries := bigger
+      end;
+      (!entries).(id) <- { key; entry_rank };
+      Hashtbl.replace table key id;
+      id
+
+let rank (t : ty) = (!entries).(t).entry_rank
+
+let arity (t : ty) =
+  let sg, _ = (!entries).(t).key in
+  sg.sig_arity
+
+let node (t : ty) = (!entries).(t).key
+
+(* ------------------------------------------------------------------ *)
+(* Atomic signatures                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let atomic_signature g (u : Graph.Tuple.t) =
+  let k = Array.length u in
+  let eqs = ref [] and edgs = ref [] in
+  for j = k - 1 downto 0 do
+    for i = j - 1 downto 0 do
+      if u.(i) = u.(j) then eqs := (i, j) :: !eqs;
+      if Graph.mem_edge g u.(i) u.(j) then edgs := (i, j) :: !edgs
+    done
+  done;
+  {
+    sig_arity = k;
+    eqs = !eqs;
+    edgs = !edgs;
+    cols = Array.map (Graph.colors_of g) u;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Contexts and type computation                                       *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  g : Graph.t;
+  tp_memo : (int * Graph.Tuple.t, ty) Hashtbl.t;
+  ltp_memo : (int * int * Graph.Tuple.t, ty) Hashtbl.t;
+}
+
+let make_ctx g = { g; tp_memo = Hashtbl.create 256; ltp_memo = Hashtbl.create 256 }
+
+let graph ctx = ctx.g
+
+let rec tp ctx ~q u =
+  if q < 0 then invalid_arg "Types.tp: negative quantifier rank";
+  match Hashtbl.find_opt ctx.tp_memo (q, u) with
+  | Some t -> t
+  | None ->
+      let sg = atomic_signature ctx.g u in
+      let t =
+        if q = 0 then intern (sg, None) 0
+        else begin
+          let n = Graph.order ctx.g in
+          let children = ref [] in
+          for w = 0 to n - 1 do
+            let child = tp ctx ~q:(q - 1) (Graph.Tuple.append u [| w |]) in
+            children := child :: !children
+          done;
+          let children = List.sort_uniq Stdlib.compare !children in
+          intern (sg, Some children) q
+        end
+      in
+      Hashtbl.replace ctx.tp_memo (q, u) t;
+      t
+
+let tp_graph g ~q u = tp (make_ctx g) ~q u
+
+let ltp ctx ~q ~r u =
+  if r < 0 then invalid_arg "Types.ltp: negative radius";
+  match Hashtbl.find_opt ctx.ltp_memo (q, r, u) with
+  | Some t -> t
+  | None ->
+      let emb = Ops.neighborhood ctx.g ~r u in
+      let u' =
+        Array.map
+          (fun v ->
+            match emb.Ops.to_sub v with
+            | Some v' -> v'
+            | None -> assert false (* members of ū are in their own ball *))
+          u
+      in
+      let t = tp (make_ctx emb.Ops.graph) ~q u' in
+      Hashtbl.replace ctx.ltp_memo (q, r, u) t;
+      t
+
+let partition_by keyf tuples =
+  let tbl : (ty, Graph.Tuple.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+      let t = keyf u in
+      match Hashtbl.find_opt tbl t with
+      | Some cell -> cell := u :: !cell
+      | None ->
+          Hashtbl.replace tbl t (ref [ u ]);
+          order := t :: !order)
+    tuples;
+  List.rev_map
+    (fun t -> (t, List.rev !(Hashtbl.find tbl t)))
+    !order
+
+let partition_by_tp ctx ~q tuples = partition_by (fun u -> tp ctx ~q u) tuples
+
+let partition_by_ltp ctx ~q ~r tuples =
+  partition_by (fun u -> ltp ctx ~q ~r u) tuples
+
+let count_types g ~q ~k =
+  let ctx = make_ctx g in
+  partition_by_tp ctx ~q (Graph.Tuple.all ~n:(Graph.order g) ~k) |> List.length

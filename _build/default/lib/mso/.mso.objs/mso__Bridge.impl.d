@@ -1,0 +1,1 @@
+lib/mso/bridge.ml: Fo Formula List Printf String

@@ -1,0 +1,1 @@
+lib/mso/bridge.mli: Fo Formula

@@ -1,0 +1,1 @@
+lib/mso/dfa.ml: Array Format Fun Hashtbl List Map Queue

@@ -1,0 +1,1 @@
+lib/mso/dfa.mli: Format

@@ -1,0 +1,1 @@
+lib/mso/formula.ml: Array Dfa Format Fun List Map Nfa Printf String

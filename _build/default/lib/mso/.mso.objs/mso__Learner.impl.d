@@ -1,0 +1,1 @@
+lib/mso/learner.ml: Array Dfa Formula List Oracle Printf

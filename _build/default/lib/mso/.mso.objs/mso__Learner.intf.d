@@ -1,0 +1,1 @@
+lib/mso/learner.mli: Formula

@@ -1,0 +1,1 @@
+lib/mso/nfa.ml: Array Dfa Int List Map Set

@@ -1,0 +1,1 @@
+lib/mso/nfa.mli: Dfa

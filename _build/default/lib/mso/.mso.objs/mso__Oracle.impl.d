@@ -1,0 +1,1 @@
+lib/mso/oracle.ml: Array Dfa Fun Hashtbl List Option

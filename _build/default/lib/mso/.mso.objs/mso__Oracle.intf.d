@@ -1,0 +1,1 @@
+lib/mso/oracle.mli: Dfa

@@ -1,0 +1,1 @@
+lib/mso/parser.ml: Formula List Printf String

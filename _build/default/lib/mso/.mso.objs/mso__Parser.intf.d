@@ -1,0 +1,1 @@
+lib/mso/parser.mli: Formula

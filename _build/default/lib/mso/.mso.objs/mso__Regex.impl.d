@@ -1,0 +1,1 @@
+lib/mso/regex.ml: Array Dfa Format Int List Nfa Printf Set String

@@ -1,0 +1,1 @@
+lib/mso/regex.mli: Dfa Format Nfa

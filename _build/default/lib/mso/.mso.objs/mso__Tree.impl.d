@@ -1,0 +1,1 @@
+lib/mso/tree.ml: Format List Printf Random String

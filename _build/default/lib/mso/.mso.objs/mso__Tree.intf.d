@@ -1,0 +1,1 @@
+lib/mso/tree.mli: Format

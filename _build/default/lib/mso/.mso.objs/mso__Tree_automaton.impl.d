@@ -1,0 +1,1 @@
+lib/mso/tree_automaton.ml: Array Hashtbl Int List Map Set Tree

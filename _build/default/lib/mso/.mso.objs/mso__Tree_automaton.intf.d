@@ -1,0 +1,1 @@
+lib/mso/tree_automaton.mli: Tree

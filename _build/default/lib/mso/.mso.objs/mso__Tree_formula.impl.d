@@ -1,0 +1,1 @@
+lib/mso/tree_formula.ml: Array Fun List Map Printf String Tree Tree_automaton

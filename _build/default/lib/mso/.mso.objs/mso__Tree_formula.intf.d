@@ -1,0 +1,1 @@
+lib/mso/tree_formula.mli: Tree Tree_automaton

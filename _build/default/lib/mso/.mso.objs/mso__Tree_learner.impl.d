@@ -1,0 +1,1 @@
+lib/mso/tree_learner.ml: Array List Printf Tree Tree_automaton Tree_formula

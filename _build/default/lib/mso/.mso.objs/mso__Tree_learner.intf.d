@@ -1,0 +1,1 @@
+lib/mso/tree_learner.mli: Tree Tree_formula

@@ -1,0 +1,1 @@
+lib/mso/tree_parser.ml: List Printf String Tree_formula

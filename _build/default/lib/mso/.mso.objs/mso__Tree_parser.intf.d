@@ -1,0 +1,1 @@
+lib/mso/tree_parser.mli: Tree_formula

@@ -1,0 +1,1 @@
+lib/mso/word.ml: Array Cgraph Fun List Printf Random String

@@ -1,0 +1,1 @@
+lib/mso/word.mli: Cgraph

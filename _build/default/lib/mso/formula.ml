@@ -1,0 +1,361 @@
+type var = string
+
+type t =
+  | MTrue
+  | MFalse
+  | Letter of int * var
+  | Less of var * var
+  | Succ of var * var
+  | EqPos of var * var
+  | Mem of var * var
+  | Not of t
+  | And of t list
+  | Or of t list
+  | ExistsPos of var * t
+  | ForallPos of var * t
+  | ExistsSet of var * t
+  | ForallSet of var * t
+
+type kind = Pos | Set
+
+module VMap = Map.Make (String)
+
+let free phi =
+  let add name kind acc =
+    match VMap.find_opt name acc with
+    | Some k when k <> kind ->
+        invalid_arg
+          (Printf.sprintf "Mso: variable %S used both as position and set" name)
+    | _ -> VMap.add name kind acc
+  in
+  let rec go bound acc = function
+    | MTrue | MFalse -> acc
+    | Letter (_, x) -> if List.mem x bound then acc else add x Pos acc
+    | Less (x, y) | Succ (x, y) | EqPos (x, y) ->
+        let acc = if List.mem x bound then acc else add x Pos acc in
+        if List.mem y bound then acc else add y Pos acc
+    | Mem (x, bigx) ->
+        let acc = if List.mem x bound then acc else add x Pos acc in
+        if List.mem bigx bound then acc else add bigx Set acc
+    | Not f -> go bound acc f
+    | And fs | Or fs -> List.fold_left (go bound) acc fs
+    | ExistsPos (x, f) | ForallPos (x, f) | ExistsSet (x, f) | ForallSet (x, f)
+      ->
+        go (x :: bound) acc f
+  in
+  VMap.bindings (go [] VMap.empty phi)
+
+(* ------------------------------------------------------------------ *)
+(* Direct evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type assignment = {
+  pos : (var * int) list;
+  sets : (var * int list) list;
+}
+
+let empty_assignment = { pos = []; sets = [] }
+
+let eval ~word asg phi =
+  let n = Array.length word in
+  let rec go asg = function
+    | MTrue -> true
+    | MFalse -> false
+    | Letter (a, x) ->
+        let p = List.assoc x asg.pos in
+        p >= 0 && p < n && word.(p) = a
+    | Less (x, y) -> List.assoc x asg.pos < List.assoc y asg.pos
+    | Succ (x, y) -> List.assoc y asg.pos = List.assoc x asg.pos + 1
+    | EqPos (x, y) -> List.assoc x asg.pos = List.assoc y asg.pos
+    | Mem (x, bigx) -> List.mem (List.assoc x asg.pos) (List.assoc bigx asg.sets)
+    | Not f -> not (go asg f)
+    | And fs -> List.for_all (go asg) fs
+    | Or fs -> List.exists (go asg) fs
+    | ExistsPos (x, f) ->
+        List.exists
+          (fun p -> go { asg with pos = (x, p) :: asg.pos } f)
+          (List.init n Fun.id)
+    | ForallPos (x, f) ->
+        List.for_all
+          (fun p -> go { asg with pos = (x, p) :: asg.pos } f)
+          (List.init n Fun.id)
+    | ExistsSet (bigx, f) ->
+        let rec subsets = function
+          | [] -> [ [] ]
+          | p :: rest ->
+              let s = subsets rest in
+              s @ List.map (fun u -> p :: u) s
+        in
+        List.exists
+          (fun s -> go { asg with sets = (bigx, s) :: asg.sets } f)
+          (subsets (List.init n Fun.id))
+    | ForallSet (bigx, f) ->
+        let rec subsets = function
+          | [] -> [ [] ]
+          | p :: rest ->
+              let s = subsets rest in
+              s @ List.map (fun u -> p :: u) s
+        in
+        List.for_all
+          (fun s -> go { asg with sets = (bigx, s) :: asg.sets } f)
+          (subsets (List.init n Fun.id))
+  in
+  go asg phi
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let track scope name =
+  (* innermost binding wins: quantifiers append their variable at the end
+     of the scope, so a shadowed name must resolve to the LAST entry *)
+  let rec find i best = function
+    | [] -> best
+    | (v, _) :: rest -> find (i + 1) (if v = name then Some i else best) rest
+  in
+  match find 0 None scope with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "%s: %S is not in scope" __MODULE__ name)
+
+(* Build a DFA over alphabet sigma * 2^tracks from an explicit
+   state-machine description: [next state letter bitmask] and accepting
+   states.  State -1 is a rejecting sink. *)
+let machine ~sigma ~tracks ~states ~start ~next ~accepting =
+  let alphabet = sigma lsl tracks in
+  let total = states + 1 in
+  let sink = states in
+  let delta =
+    Array.init total (fun q ->
+        Array.init alphabet (fun l ->
+            if q = sink then sink
+            else begin
+              let a = l mod sigma and mask = l / sigma in
+              match next q a mask with Some q' -> q' | None -> sink
+            end))
+  in
+  let accept = Array.init total (fun q -> q <> sink && accepting q) in
+  Dfa.create ~states:total ~alphabet ~start ~delta ~accept
+
+let bit mask i = (mask lsr i) land 1 = 1
+
+(* exactly one mark on track t *)
+let singleton_dfa ~sigma ~tracks t =
+  machine ~sigma ~tracks ~states:2 ~start:0
+    ~next:(fun q _a mask ->
+      match (q, bit mask t) with
+      | 0, false -> Some 0
+      | 0, true -> Some 1
+      | 1, false -> Some 1
+      | 1, true -> None
+      | _ -> None)
+    ~accepting:(fun q -> q = 1)
+
+let rec compile ~sigma ~scope phi =
+  if sigma < 1 then invalid_arg "Mso.compile: need sigma >= 1";
+  List.iter
+    (fun (v, k) ->
+      match List.assoc_opt v scope with
+      | Some k' when k = k' -> ()
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf "Mso.compile: %S has the wrong kind in scope" v)
+      | None ->
+          invalid_arg (Printf.sprintf "Mso.compile: free variable %S not in scope" v))
+    (free phi);
+  let tracks = List.length scope in
+  let alphabet = sigma lsl tracks in
+  let base = function
+    | MTrue -> Dfa.total_language ~alphabet
+    | MFalse -> Dfa.empty_language ~alphabet
+    | Letter (a, x) ->
+        if a < 0 || a >= sigma then
+          invalid_arg "Mso.compile: letter out of range";
+        let t = track scope x in
+        (* one x-mark, carrying letter a *)
+        machine ~sigma ~tracks ~states:2 ~start:0
+          ~next:(fun q letter mask ->
+            match (q, bit mask t) with
+            | 0, false -> Some 0
+            | 0, true -> if letter = a then Some 1 else None
+            | 1, false -> Some 1
+            | 1, true -> None
+            | _ -> None)
+          ~accepting:(fun q -> q = 1)
+    | Less (x, y) ->
+        let tx = track scope x and ty = track scope y in
+        machine ~sigma ~tracks ~states:3 ~start:0
+          ~next:(fun q _ mask ->
+            let mx = bit mask tx and my = bit mask ty in
+            match q with
+            | 0 -> (
+                match (mx, my) with
+                | false, false -> Some 0
+                | true, false -> Some 1
+                | _ -> None)
+            | 1 -> (
+                match (mx, my) with
+                | false, false -> Some 1
+                | false, true -> Some 2
+                | _ -> None)
+            | 2 -> if mx || my then None else Some 2
+            | _ -> None)
+          ~accepting:(fun q -> q = 2)
+    | Succ (x, y) ->
+        let tx = track scope x and ty = track scope y in
+        machine ~sigma ~tracks ~states:3 ~start:0
+          ~next:(fun q _ mask ->
+            let mx = bit mask tx and my = bit mask ty in
+            match q with
+            | 0 -> (
+                match (mx, my) with
+                | false, false -> Some 0
+                | true, false -> Some 1
+                | _ -> None)
+            | 1 -> if my && not mx then Some 2 else None
+            | 2 -> if mx || my then None else Some 2
+            | _ -> None)
+          ~accepting:(fun q -> q = 2)
+    | EqPos (x, y) ->
+        let tx = track scope x and ty = track scope y in
+        machine ~sigma ~tracks ~states:2 ~start:0
+          ~next:(fun q _ mask ->
+            let mx = bit mask tx and my = bit mask ty in
+            match q with
+            | 0 -> (
+                match (mx, my) with
+                | false, false -> Some 0
+                | true, true -> Some 1
+                | _ -> None)
+            | 1 -> if mx || my then None else Some 1
+            | _ -> None)
+          ~accepting:(fun q -> q = 1)
+    | Mem (x, bigx) ->
+        let tx = track scope x and ts = track scope bigx in
+        machine ~sigma ~tracks ~states:2 ~start:0
+          ~next:(fun q _ mask ->
+            let mx = bit mask tx and ms = bit mask ts in
+            match q with
+            | 0 -> if not mx then Some 0 else if ms then Some 1 else None
+            | 1 -> if mx then None else Some 1
+            | _ -> None)
+          ~accepting:(fun q -> q = 1)
+    | _ -> assert false
+  in
+  let quantify ~is_pos ~exists x kind body =
+    let scope' = scope @ [ (x, kind) ] in
+    let inner =
+      if exists then compile ~sigma ~scope:scope' body
+      else Dfa.complement (compile ~sigma ~scope:scope' body)
+    in
+    let inner =
+      if is_pos then
+        Dfa.minimize
+          (Dfa.product inner
+             (singleton_dfa ~sigma ~tracks:(tracks + 1) tracks)
+             ~mode:`Inter)
+      else inner
+    in
+    (* project away the top track *)
+    let half = alphabet in
+    let nfa =
+      Nfa.project_sized inner ~alphabet:half (fun b -> [ b; b + half ])
+    in
+    let projected = Dfa.minimize (Nfa.determinize nfa) in
+    if exists then projected else Dfa.minimize (Dfa.complement projected)
+  in
+  match phi with
+  | MTrue | MFalse | Letter _ | Less _ | Succ _ | EqPos _ | Mem _ ->
+      Dfa.minimize (base phi)
+  | Not f -> Dfa.minimize (Dfa.complement (compile ~sigma ~scope f))
+  | And fs ->
+      Dfa.minimize
+        (List.fold_left
+           (fun acc f -> Dfa.product acc (compile ~sigma ~scope f) ~mode:`Inter)
+           (Dfa.total_language ~alphabet)
+           fs)
+  | Or fs ->
+      Dfa.minimize
+        (List.fold_left
+           (fun acc f -> Dfa.product acc (compile ~sigma ~scope f) ~mode:`Union)
+           (Dfa.empty_language ~alphabet)
+           fs)
+  | ExistsPos (x, f) -> quantify ~is_pos:true ~exists:true x Pos f
+  | ForallPos (x, f) -> quantify ~is_pos:true ~exists:false x Pos f
+  | ExistsSet (x, f) -> quantify ~is_pos:false ~exists:true x Set f
+  | ForallSet (x, f) -> quantify ~is_pos:false ~exists:false x Set f
+
+let annotate ~sigma ~scope word asg =
+  Array.mapi
+    (fun i a ->
+      if a < 0 || a >= sigma then
+        invalid_arg "Mso.annotate: letter out of range";
+      let mask =
+        List.fold_left
+          (fun acc (t, (v, kind)) ->
+            let marked =
+              match kind with
+              | Pos -> List.assoc v asg.pos = i
+              | Set -> List.mem i (List.assoc v asg.sets)
+            in
+            if marked then acc lor (1 lsl t) else acc)
+          0
+          (List.mapi (fun t entry -> (t, entry)) scope)
+      in
+      a + (sigma * mask))
+    word
+
+let holds_compiled ~sigma ~scope dfa word asg =
+  Dfa.accepts dfa (annotate ~sigma ~scope word asg)
+
+(* precedence: 0 = quantifiers/top, 2 = or, 3 = and, 4 = unary *)
+let pp ~letters ppf phi =
+  let letter a =
+    match List.nth_opt letters a with
+    | Some l -> l
+    | None -> invalid_arg (Printf.sprintf "Mso.pp: letter %d out of alphabet" a)
+  in
+  let rec go lvl ppf f =
+    let paren needed body =
+      if needed then Format.fprintf ppf "(%t)" body else body ppf
+    in
+    match f with
+    | MTrue -> Format.pp_print_string ppf "true"
+    | MFalse -> Format.pp_print_string ppf "false"
+    | Letter (a, x) -> Format.fprintf ppf "%s(%s)" (letter a) x
+    | Less (x, y) -> Format.fprintf ppf "%s < %s" x y
+    | Succ (x, y) -> Format.fprintf ppf "succ(%s, %s)" x y
+    | EqPos (x, y) -> Format.fprintf ppf "%s = %s" x y
+    | Mem (x, bigx) -> Format.fprintf ppf "%s in %s" x bigx
+    | Not f ->
+        Format.pp_print_string ppf "~";
+        go 4 ppf f
+    | And fs ->
+        paren (lvl > 3) (fun ppf ->
+            Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf " /\\ ")
+              (go 4) ppf fs)
+    | Or fs ->
+        paren (lvl > 2) (fun ppf ->
+            Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf " \\/ ")
+              (go 3) ppf fs)
+    | ExistsPos (x, f) ->
+        paren (lvl > 0) (fun ppf -> Format.fprintf ppf "exists %s. %a" x (go 0) f)
+    | ForallPos (x, f) ->
+        paren (lvl > 0) (fun ppf -> Format.fprintf ppf "forall %s. %a" x (go 0) f)
+    | ExistsSet (x, f) ->
+        paren (lvl > 0) (fun ppf ->
+            Format.fprintf ppf "existsset %s. %a" x (go 0) f)
+    | ForallSet (x, f) ->
+        paren (lvl > 0) (fun ppf ->
+            Format.fprintf ppf "forallset %s. %a" x (go 0) f)
+  in
+  go 0 ppf phi
+
+let to_string ~letters phi = Format.asprintf "%a" (pp ~letters) phi
+
+let language ~sigma phi =
+  if free phi <> [] then
+    invalid_arg "Mso.language: formula has free variables";
+  compile ~sigma ~scope:[] phi

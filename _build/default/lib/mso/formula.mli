@@ -1,0 +1,80 @@
+(** Monadic second-order logic on finite words.
+
+    The logic of the Büchi–Elgot–Trakhtenbrot theorem: first-order
+    position variables, monadic set variables, order/successor/letter
+    atoms.  MSO sentences define exactly the regular languages, and every
+    formula [φ(x̄, X̄)] compiles to a DFA over the word alphabet extended
+    with one boolean {e track} per free variable ({!compile}).
+
+    This is the concept language of the paper's related work [21]
+    (learning MSO-definable hypotheses on strings), reproduced here as
+    the string-side counterpart of the FO-over-graphs pipeline. *)
+
+type var = string
+
+(** Formulas.  Letters are integers [0..sigma-1]. *)
+type t =
+  | MTrue
+  | MFalse
+  | Letter of int * var  (** position [x] carries the letter *)
+  | Less of var * var  (** strict position order [x < y] *)
+  | Succ of var * var  (** [y = x + 1] *)
+  | EqPos of var * var
+  | Mem of var * var  (** [Mem (x, bigx)]: position [x] belongs to set [bigx] *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | ExistsPos of var * t
+  | ForallPos of var * t
+  | ExistsSet of var * t
+  | ForallSet of var * t
+
+type kind = Pos | Set
+
+val free : t -> (var * kind) list
+(** Free variables with their kinds, sorted by name.
+    @raise Invalid_argument if a variable is used with both kinds. *)
+
+(** {1 Direct evaluation (the reference semantics)} *)
+
+type assignment = {
+  pos : (var * int) list;  (** position variables *)
+  sets : (var * int list) list;  (** set variables *)
+}
+
+val empty_assignment : assignment
+
+val eval : word:int array -> assignment -> t -> bool
+(** Recursive evaluation; set quantifiers enumerate all [2^n] subsets —
+    reference semantics for short words only.
+    @raise Not_found on an unbound variable. *)
+
+(** {1 Compilation (Büchi–Elgot–Trakhtenbrot)} *)
+
+val compile : sigma:int -> scope:(var * kind) list -> t -> Dfa.t
+(** [compile ~sigma ~scope φ]: a minimal DFA over the alphabet
+    [sigma * 2^|scope|] (letter [a] with track bitmask [m] encoded as
+    [a + sigma * m], track [i] = [i]-th scope entry) accepting exactly
+    the {e validly annotated} words satisfying [φ] — valid meaning every
+    position-variable track carries exactly one mark.  [scope] must
+    cover the free variables of [φ].
+    @raise Invalid_argument on scope violations or letters [>= sigma]. *)
+
+val annotate :
+  sigma:int -> scope:(var * kind) list -> int array -> assignment -> int array
+(** Encode a word and an assignment as a word over the track alphabet. *)
+
+val holds_compiled :
+  sigma:int -> scope:(var * kind) list -> Dfa.t -> int array -> assignment -> bool
+(** Run a compiled automaton on an annotated word. *)
+
+val pp : letters:string list -> Format.formatter -> t -> unit
+(** Concrete syntax accepted by {!Parser.parse} (letters resolved
+    against the same alphabet list).
+    @raise Invalid_argument on a letter index outside the alphabet. *)
+
+val to_string : letters:string list -> t -> string
+
+val language : sigma:int -> t -> Dfa.t
+(** Compile a sentence ([scope = []]).
+    @raise Invalid_argument if the formula has free variables. *)

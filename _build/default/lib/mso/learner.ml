@@ -1,0 +1,98 @@
+type entry = {
+  name : string;
+  phi : Formula.t;
+  xvars : Formula.var list;
+  yvars : Formula.var list;
+}
+
+type result = {
+  entry : entry;
+  params : int array;
+  err : float;
+  evaluations : int;
+  states : int;
+}
+
+let scope_of entry =
+  List.map (fun v -> (v, Formula.Pos)) (entry.xvars @ entry.yvars)
+
+let check_entry entry =
+  let scope = scope_of entry in
+  List.iter
+    (fun (v, kind) ->
+      match List.assoc_opt v scope with
+      | Some Formula.Pos when kind = Formula.Pos -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Learner: free variable %S of %S is not an x/y position \
+                variable"
+               v entry.name))
+    (Formula.free entry.phi)
+
+(* marks for an (example, params) pair: track i = i-th scope entry *)
+let marks_of entry example params =
+  let kx = List.length entry.xvars in
+  List.mapi (fun i p -> (p, 1 lsl i)) (Array.to_list example)
+  @ List.mapi (fun j p -> (p, 1 lsl (kx + j))) (Array.to_list params)
+
+let rec param_tuples n = function
+  | 0 -> [ [||] ]
+  | j ->
+      List.concat_map
+        (fun rest ->
+          List.init n (fun p -> Array.append [| p |] rest))
+        (param_tuples n (j - 1))
+
+let solve ~sigma ~word ~catalogue examples =
+  let n = Array.length word in
+  let m = List.length examples in
+  let best = ref None in
+  let evals = ref 0 in
+  List.iter
+    (fun entry ->
+      check_entry entry;
+      let kx = List.length entry.xvars in
+      List.iter
+        (fun (v, _) ->
+          if Array.length v <> kx then
+            invalid_arg "Learner.solve: example arity mismatch")
+        examples;
+      let scope = scope_of entry in
+      let dfa = Formula.compile ~sigma ~scope entry.phi in
+      let oracle = Oracle.make ~sigma dfa word in
+      List.iter
+        (fun params ->
+          let errs =
+            List.fold_left
+              (fun acc (v, label) ->
+                incr evals;
+                let verdict =
+                  Oracle.eval_with_marks oracle
+                    ~marks:(marks_of entry v params)
+                in
+                if verdict <> label then acc + 1 else acc)
+              0 examples
+          in
+          match !best with
+          | Some (_, _, _, e) when e <= errs -> ()
+          | _ -> best := Some (entry, params, dfa.Dfa.states, errs))
+        (param_tuples n (List.length entry.yvars)))
+    catalogue;
+  match !best with
+  | None -> None
+  | Some (entry, params, states, errs) ->
+      Some
+        {
+          entry;
+          params;
+          err = (if m = 0 then 0.0 else float_of_int errs /. float_of_int m);
+          evaluations = !evals;
+          states;
+        }
+
+let predict ~sigma ~word result v =
+  let scope = scope_of result.entry in
+  let dfa = Formula.compile ~sigma ~scope result.entry.phi in
+  let oracle = Oracle.make ~sigma dfa word in
+  Oracle.eval_with_marks oracle ~marks:(marks_of result.entry v result.params)

@@ -1,0 +1,278 @@
+exception Parse_error of string
+
+type token =
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | LESS
+  | EQ
+  | NOT
+  | AND
+  | OR
+  | IMPLIES
+  | IFF
+  | TRUE
+  | FALSE
+  | EXISTS
+  | FORALL
+  | EXISTSSET
+  | FORALLSET
+  | SUCC
+  | IN
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | LESS -> "'<'"
+  | EQ -> "'='"
+  | NOT -> "'~'"
+  | AND -> "'/\\'"
+  | OR -> "'\\/'"
+  | IMPLIES -> "'->'"
+  | IFF -> "'<->'"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | EXISTS -> "'exists'"
+  | FORALL -> "'forall'"
+  | EXISTSSET -> "'existsset'"
+  | FORALLSET -> "'forallset'"
+  | SUCC -> "'succ'"
+  | IN -> "'in'"
+  | EOF -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = '.' then (emit DOT; incr i)
+    else if c = '~' then (emit NOT; incr i)
+    else if c = '&' then (emit AND; incr i)
+    else if c = '|' then (emit OR; incr i)
+    else if c = '=' then (emit EQ; incr i)
+    else if c = '/' && !i + 1 < n && input.[!i + 1] = '\\' then (emit AND; i := !i + 2)
+    else if c = '\\' && !i + 1 < n && input.[!i + 1] = '/' then (emit OR; i := !i + 2)
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '>' then (emit IMPLIES; i := !i + 2)
+    else if c = '<' && !i + 2 < n && input.[!i + 1] = '-' && input.[!i + 2] = '>'
+    then (emit IFF; i := !i + 3)
+    else if c = '<' then (emit LESS; incr i)
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do incr i done;
+      match String.sub input start (!i - start) with
+      | "true" -> emit TRUE
+      | "false" -> emit FALSE
+      | "not" -> emit NOT
+      | "and" -> emit AND
+      | "or" -> emit OR
+      | "exists" -> emit EXISTS
+      | "forall" -> emit FORALL
+      | "existsset" -> emit EXISTSSET
+      | "forallset" -> emit FORALLSET
+      | "succ" -> emit SUCC
+      | "in" -> emit IN
+      | w -> emit (IDENT w)
+    end
+    else
+      raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  emit EOF;
+  List.rev !tokens
+
+type state = { mutable toks : token list; letters : string list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  let got = peek st in
+  if got = t then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (token_to_string t)
+            (token_to_string got)))
+
+let expect_ident st =
+  match peek st with
+  | IDENT x ->
+      advance st;
+      x
+  | got ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected an identifier but found %s"
+              (token_to_string got)))
+
+let letter_index st name =
+  let rec find i = function
+    | [] -> None
+    | l :: rest -> if l = name then Some i else find (i + 1) rest
+  in
+  find 0 st.letters
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_impl st in
+  match peek st with
+  | IFF ->
+      advance st;
+      let rhs = parse_impl st in
+      (* a <-> b  =  (a /\ b) \/ (~a /\ ~b) *)
+      Formula.Or
+        [ Formula.And [ lhs; rhs ]; Formula.And [ Formula.Not lhs; Formula.Not rhs ] ]
+  | _ -> lhs
+
+and parse_impl st =
+  let lhs = parse_or st in
+  match peek st with
+  | IMPLIES ->
+      advance st;
+      let rhs = parse_impl st in
+      Formula.Or [ Formula.Not lhs; rhs ]
+  | _ -> lhs
+
+and parse_or st =
+  let first = parse_and st in
+  let rec loop acc =
+    match peek st with
+    | OR ->
+        advance st;
+        loop (parse_and st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ f ] -> f | fs -> Formula.Or fs
+
+and parse_and st =
+  let first = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | AND ->
+        advance st;
+        loop (parse_unary st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ f ] -> f | fs -> Formula.And fs
+
+and parse_unary st =
+  match peek st with
+  | NOT ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | (EXISTS | FORALL | EXISTSSET | FORALLSET) as quant ->
+      advance st;
+      let rec idents acc =
+        match peek st with
+        | IDENT x ->
+            advance st;
+            idents (x :: acc)
+        | _ -> List.rev acc
+      in
+      let xs = idents [] in
+      if xs = [] then
+        raise (Parse_error "quantifier must bind at least one variable");
+      expect st DOT;
+      let body = parse_formula st in
+      let wrap x acc =
+        match quant with
+        | EXISTS -> Formula.ExistsPos (x, acc)
+        | FORALL -> Formula.ForallPos (x, acc)
+        | EXISTSSET -> Formula.ExistsSet (x, acc)
+        | _ -> Formula.ForallSet (x, acc)
+      in
+      List.fold_right wrap xs body
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | TRUE ->
+      advance st;
+      Formula.MTrue
+  | FALSE ->
+      advance st;
+      Formula.MFalse
+  | LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN;
+      f
+  | SUCC ->
+      advance st;
+      expect st LPAREN;
+      let x = expect_ident st in
+      expect st COMMA;
+      let y = expect_ident st in
+      expect st RPAREN;
+      Formula.Succ (x, y)
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | LESS ->
+          advance st;
+          Formula.Less (name, expect_ident st)
+      | EQ ->
+          advance st;
+          Formula.EqPos (name, expect_ident st)
+      | IN ->
+          advance st;
+          Formula.Mem (name, expect_ident st)
+      | LPAREN -> (
+          advance st;
+          let x = expect_ident st in
+          expect st RPAREN;
+          match letter_index st name with
+          | Some a -> Formula.Letter (a, x)
+          | None ->
+              raise
+                (Parse_error
+                   (Printf.sprintf "%S is not a letter of the alphabet" name)))
+      | got ->
+          raise
+            (Parse_error
+               (Printf.sprintf "identifier %S must begin an atom; found %s"
+                  name (token_to_string got))))
+  | got ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected a formula but found %s"
+              (token_to_string got)))
+
+let parse ~letters input =
+  List.iter
+    (fun l ->
+      if
+        List.mem l
+          [
+            "true"; "false"; "not"; "and"; "or"; "exists"; "forall";
+            "existsset"; "forallset"; "succ"; "in";
+          ]
+      then
+        raise
+          (Parse_error (Printf.sprintf "letter name %S collides with a keyword" l)))
+    letters;
+  let st = { toks = lex input; letters } in
+  let f = parse_formula st in
+  expect st EOF;
+  f
+
+let parse_opt ~letters input =
+  try Some (parse ~letters input) with Parse_error _ -> None

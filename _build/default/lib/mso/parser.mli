@@ -1,0 +1,27 @@
+(** Concrete syntax for MSO-on-words formulas.
+
+    Grammar (precedences as in {!Fo.Parser}):
+    {v
+      formula := iff | impl | or | and | unary ...
+      unary   := ('~'|'not') unary | quantified | primary
+      quantified := ('exists' | 'forall') ident+ '.' formula        (positions)
+                  | ('existsset' | 'forallset') ident+ '.' formula  (sets)
+      atom    := ident '<' ident            (position order)
+                | ident '=' ident           (position equality)
+                | 'succ' '(' ident ',' ident ')'
+                | ident 'in' ident          (set membership)
+                | letter '(' ident ')'      (letter atom, letter from the alphabet)
+      'true' / 'false' and parentheses as usual.
+    v}
+
+    Letters are resolved against the [letters] argument (e.g.
+    [~letters:["a"; "b"]] makes [a(x)] mean "position [x] carries letter
+    0").  Keywords ([exists], [succ], [in], ...) cannot be letter
+    names. *)
+
+exception Parse_error of string
+
+val parse : letters:string list -> string -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : letters:string list -> string -> Formula.t option

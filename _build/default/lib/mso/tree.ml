@@ -1,0 +1,187 @@
+type t =
+  | Leaf of int
+  | Unary of int * t
+  | Binary of int * t * t
+
+let rec size = function
+  | Leaf _ -> 1
+  | Unary (_, c) -> 1 + size c
+  | Binary (_, l, r) -> 1 + size l + size r
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Unary (_, c) -> 1 + depth c
+  | Binary (_, l, r) -> 1 + max (depth l) (depth r)
+
+let label = function Leaf a | Unary (a, _) | Binary (a, _, _) -> a
+
+let rec check_labels ~sigma t =
+  let a = label t in
+  if a < 0 || a >= sigma then
+    invalid_arg (Printf.sprintf "Tree: label %d outside 0..%d" a (sigma - 1));
+  match t with
+  | Leaf _ -> ()
+  | Unary (_, c) -> check_labels ~sigma c
+  | Binary (_, l, r) ->
+      check_labels ~sigma l;
+      check_labels ~sigma r
+
+let nodes t =
+  let acc = ref [] in
+  let counter = ref 0 in
+  let rec go t =
+    let id = !counter in
+    incr counter;
+    acc := (id, label t) :: !acc;
+    match t with
+    | Leaf _ -> ()
+    | Unary (_, c) -> go c
+    | Binary (_, l, r) ->
+        go l;
+        go r
+  in
+  go t;
+  List.rev !acc
+
+let subtree t id =
+  let counter = ref 0 in
+  let found = ref None in
+  let rec go t =
+    let here = !counter in
+    incr counter;
+    if here = id then found := Some t;
+    if !found = None then begin
+      match t with
+      | Leaf _ -> ()
+      | Unary (_, c) -> go c
+      | Binary (_, l, r) ->
+          go l;
+          go r
+    end
+  in
+  go t;
+  match !found with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Tree.subtree: no node %d" id)
+
+let structure t =
+  (* (id, parent option, children ids) in preorder *)
+  let counter = ref 0 in
+  let rows = ref [] in
+  let rec go parent t =
+    let id = !counter in
+    incr counter;
+    let kids =
+      match t with
+      | Leaf _ -> []
+      | Unary (_, c) -> [ go (Some id) c ]
+      | Binary (_, l, r) ->
+          let a = go (Some id) l in
+          let b = go (Some id) r in
+          [ a; b ]
+    in
+    rows := (id, parent, kids) :: !rows;
+    id
+  in
+  ignore (go None t);
+  List.rev !rows
+
+let parent t id =
+  match List.find_opt (fun (i, _, _) -> i = id) (structure t) with
+  | Some (_, p, _) -> p
+  | None -> invalid_arg (Printf.sprintf "Tree.parent: no node %d" id)
+
+let children t id =
+  match List.find_opt (fun (i, _, _) -> i = id) (structure t) with
+  | Some (_, _, kids) -> kids
+  | None -> invalid_arg (Printf.sprintf "Tree.children: no node %d" id)
+
+let relabel t id f =
+  let counter = ref 0 in
+  let rec go t =
+    let here = !counter in
+    incr counter;
+    let fl a = if here = id then f a else a in
+    match t with
+    | Leaf a -> Leaf (fl a)
+    | Unary (a, c) ->
+        let a' = fl a in
+        Unary (a', go c)
+    | Binary (a, l, r) ->
+        let a' = fl a in
+        let l' = go l in
+        let r' = go r in
+        Binary (a', l', r')
+  in
+  go t
+
+let random ~seed ~sigma ~size:target =
+  if target < 1 then invalid_arg "Tree.random: need size >= 1";
+  let st = Random.State.make [| seed; 0x7e |] in
+  let letter () = Random.State.int st sigma in
+  (* split a node budget into a random tree shape *)
+  let rec build budget =
+    if budget = 1 then Leaf (letter ())
+    else if budget = 2 then Unary (letter (), build 1)
+    else begin
+      match Random.State.int st 3 with
+      | 0 -> Unary (letter (), build (budget - 1))
+      | _ ->
+          let left = 1 + Random.State.int st (budget - 2) in
+          Binary (letter (), build left, build (budget - 1 - left))
+    end
+  in
+  build target
+
+let rec pp ppf = function
+  | Leaf a -> Format.fprintf ppf "%d" a
+  | Unary (a, c) -> Format.fprintf ppf "%d(%a)" a pp c
+  | Binary (a, l, r) -> Format.fprintf ppf "%d(%a,%a)" a pp l pp r
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (input.[!pos] = ' ' || input.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && input.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let number () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && input.[!pos] >= '0' && input.[!pos] <= '9' do incr pos done;
+    if !pos = start then fail "expected a label";
+    int_of_string (String.sub input start (!pos - start))
+  in
+  let rec node () =
+    let a = number () in
+    skip_ws ();
+    if !pos < n && input.[!pos] = '(' then begin
+      incr pos;
+      let first = node () in
+      skip_ws ();
+      if !pos < n && input.[!pos] = ',' then begin
+        incr pos;
+        let second = node () in
+        expect ')';
+        Binary (a, first, second)
+      end
+      else begin
+        expect ')';
+        Unary (a, first)
+      end
+    end
+    else Leaf a
+  in
+  let t = node () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,58 @@
+(** Labelled ordered trees (arity at most 2) — the structures of the
+    paper's related work [19] (learning MSO-definable hypotheses on
+    trees, ICDT 2019).
+
+    Every node carries a label [0..sigma-1] and has zero, one, or two
+    children.  Nodes are addressed by their preorder index. *)
+
+type t =
+  | Leaf of int
+  | Unary of int * t
+  | Binary of int * t * t
+
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path (a leaf has depth 1). *)
+
+val label : t -> int
+(** Root label. *)
+
+val check_labels : sigma:int -> t -> unit
+(** @raise Invalid_argument if some label is outside [0..sigma-1]. *)
+
+(** {1 Preorder addressing} *)
+
+val nodes : t -> (int * int) list
+(** [(preorder id, label)] for every node, in preorder. *)
+
+val subtree : t -> int -> t
+(** The subtree rooted at a preorder id.
+    @raise Invalid_argument on an out-of-range id. *)
+
+val parent : t -> int -> int option
+(** Preorder id of the parent ([None] for the root). *)
+
+val children : t -> int -> int list
+(** Preorder ids of the children, in order. *)
+
+val relabel : t -> int -> (int -> int) -> t
+(** [relabel t id f]: apply [f] to the label of the node with the given
+    preorder id (used to annotate marks). *)
+
+(** {1 Generation and printing} *)
+
+val random : seed:int -> sigma:int -> size:int -> t
+(** A random tree with exactly [size] nodes ([size >= 1]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Term syntax: [1(0(1),1(0,0))]. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse the {!pp} term syntax (integer labels, parentheses, commas).
+    @raise Parse_error on malformed input. *)
+
+val to_string : t -> string

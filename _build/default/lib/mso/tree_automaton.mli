@@ -1,0 +1,57 @@
+(** Bottom-up deterministic tree automata over labelled trees of arity
+    at most 2 — the tree counterpart of {!Dfa}, recognising the regular
+    tree languages into which MSO-on-trees compiles. *)
+
+type t = {
+  states : int;
+  alphabet : int;
+  leaf : int array;  (** [leaf.(a)] *)
+  unary : int array array;  (** [unary.(q).(a)] *)
+  binary : int array array array;  (** [binary.(q1).(q2).(a)] *)
+  accept : bool array;
+}
+
+val create :
+  states:int -> alphabet:int ->
+  leaf:int array -> unary:int array array -> binary:int array array array ->
+  accept:bool array -> t
+(** Validates shapes and ranges.  @raise Invalid_argument otherwise. *)
+
+val run : t -> Tree.t -> int
+(** Bottom-up state at the root.
+    @raise Invalid_argument on an out-of-alphabet label. *)
+
+val accepts : t -> Tree.t -> bool
+
+val complement : t -> t
+val product : t -> t -> mode:[ `Inter | `Union ] -> t
+
+val minimize : t -> t
+(** Restrict to states reachable bottom-up, then Moore-refine.  Minimal
+    and canonical for the recognised tree language. *)
+
+val is_empty : t -> bool
+(** No reachable accepting state (reachability = generable bottom-up). *)
+
+val equal_language : t -> t -> bool
+
+val total_language : alphabet:int -> t
+val empty_language : alphabet:int -> t
+
+(** {1 Nondeterministic closure (for projection)} *)
+
+type nta = {
+  n_states : int;
+  n_alphabet : int;
+  n_leaf : int list array;
+  n_unary : int list array array;
+  n_binary : int list array array array;
+  n_accept : bool array;
+}
+
+val project : t -> alphabet:int -> (int -> int list) -> nta
+(** Homomorphic preimage on labels (track erasure): letter [b] of the
+    smaller alphabet may act as any [a ∈ preimages b]. *)
+
+val determinize : nta -> t
+(** Bottom-up subset construction (reachable subsets only). *)

@@ -1,0 +1,187 @@
+type entry = {
+  name : string;
+  phi : Tree_formula.t;
+  xvars : Tree_formula.var list;
+  yvars : Tree_formula.var list;
+}
+
+type result = {
+  entry : entry;
+  params : int array;
+  err : float;
+  evaluations : int;
+}
+
+let scope_of entry =
+  List.map (fun v -> (v, Tree_formula.Pos)) (entry.xvars @ entry.yvars)
+
+let check_entry entry =
+  let scope = scope_of entry in
+  List.iter
+    (fun (v, kind) ->
+      match (List.assoc_opt v scope, kind) with
+      | Some Tree_formula.Pos, Tree_formula.Pos -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Tree_learner: free variable %S of %S must be an x/y position \
+                variable"
+               v entry.name))
+    (Tree_formula.free entry.phi)
+
+let assignment_of entry example params =
+  {
+    Tree_formula.pos =
+      List.map2
+        (fun v p -> (v, p))
+        (entry.xvars @ entry.yvars)
+        (Array.to_list example @ Array.to_list params);
+    sets = [];
+  }
+
+let rec param_tuples n = function
+  | 0 -> [ [||] ]
+  | j ->
+      List.concat_map
+        (fun rest -> List.init n (fun p -> Array.append [| p |] rest))
+        (param_tuples n (j - 1))
+
+let solve ~sigma ~tree ~catalogue examples =
+  let n = Tree.size tree in
+  let m = List.length examples in
+  let evals = ref 0 in
+  let best = ref None in
+  List.iter
+    (fun entry ->
+      check_entry entry;
+      let kx = List.length entry.xvars in
+      List.iter
+        (fun (v, _) ->
+          if Array.length v <> kx then
+            invalid_arg "Tree_learner.solve: example arity mismatch")
+        examples;
+      let scope = scope_of entry in
+      let ta = Tree_formula.compile ~sigma ~scope entry.phi in
+      List.iter
+        (fun params ->
+          let errs =
+            List.fold_left
+              (fun acc (v, label) ->
+                incr evals;
+                let verdict =
+                  Tree_formula.holds_compiled ~sigma ~scope ta tree
+                    (assignment_of entry v params)
+                in
+                if verdict <> label then acc + 1 else acc)
+              0 examples
+          in
+          match !best with
+          | Some (_, _, e) when e <= errs -> ()
+          | _ -> best := Some (entry, params, errs))
+        (param_tuples n (List.length entry.yvars)))
+    catalogue;
+  match !best with
+  | None -> None
+  | Some (entry, params, errs) ->
+      Some
+        {
+          entry;
+          params;
+          err = (if m = 0 then 0.0 else float_of_int errs /. float_of_int m);
+          evaluations = !evals;
+        }
+
+let predict ~sigma ~tree result v =
+  let scope = scope_of result.entry in
+  let ta = Tree_formula.compile ~sigma ~scope result.entry.phi in
+  Tree_formula.holds_compiled ~sigma ~scope ta tree
+    (assignment_of result.entry v result.params)
+
+(* ------------------------------------------------------------------ *)
+(* Per-node preprocessing for unary concepts ([19])                    *)
+(* ------------------------------------------------------------------ *)
+
+module Node_oracle = struct
+  module Ta = Tree_automaton
+
+  type t = {
+    ta : Ta.t;
+    sigma : int;
+    verdict : bool array;  (** per preorder node id *)
+  }
+
+  let make ~sigma phi tree =
+    (match Tree_formula.free phi with
+    | [ (_, Tree_formula.Pos) ] -> ()
+    | _ ->
+        invalid_arg
+          "Node_oracle.make: the formula must have exactly one free position \
+           variable");
+    let x =
+      match Tree_formula.free phi with [ (v, _) ] -> v | _ -> assert false
+    in
+    let ta = Tree_formula.compile ~sigma ~scope:[ (x, Tree_formula.Pos) ] phi in
+    let states = ta.Ta.states in
+    let n = Tree.size tree in
+    (* pass 1 (bottom-up): zero-annotated state below every node *)
+    let below = Array.make n 0 in
+    let counter = ref (-1) in
+    let rec pass1 t =
+      incr counter;
+      let id = !counter in
+      let q =
+        match t with
+        | Tree.Leaf a -> ta.Ta.leaf.(a)
+        | Tree.Unary (a, c) ->
+            let qc = pass1 c in
+            ta.Ta.unary.(qc).(a)
+        | Tree.Binary (a, l, r) ->
+            let ql = pass1 l in
+            let qr = pass1 r in
+            ta.Ta.binary.(ql).(qr).(a)
+      in
+      below.(id) <- q;
+      q
+    in
+    ignore (pass1 tree);
+    (* pass 2 (top-down): context behaviour above every node, then the
+       verdict with the node itself marked (mask bit 0 => label + sigma) *)
+    let verdict = Array.make n false in
+    let counter = ref (-1) in
+    let rec pass2 t (above : bool array) =
+      incr counter;
+      let id = !counter in
+      let marked a = a + sigma in
+      (match t with
+      | Tree.Leaf a -> verdict.(id) <- above.(ta.Ta.leaf.(marked a))
+      | Tree.Unary (a, c) ->
+          let qc = below.(id + 1) in
+          verdict.(id) <- above.(ta.Ta.unary.(qc).(marked a));
+          let above_c =
+            Array.init states (fun q -> above.(ta.Ta.unary.(q).(a)))
+          in
+          pass2 c above_c
+      | Tree.Binary (a, l, r) ->
+          let idl = id + 1 in
+          let idr = id + 1 + Tree.size l in
+          let ql = below.(idl) and qr = below.(idr) in
+          verdict.(id) <- above.(ta.Ta.binary.(ql).(qr).(marked a));
+          let above_l =
+            Array.init states (fun q -> above.(ta.Ta.binary.(q).(qr).(a)))
+          in
+          pass2 l above_l;
+          let above_r =
+            Array.init states (fun q -> above.(ta.Ta.binary.(ql).(q).(a)))
+          in
+          pass2 r above_r)
+    in
+    pass2 tree (Array.copy ta.Ta.accept);
+    { ta; sigma; verdict }
+
+  let holds o v =
+    if v < 0 || v >= Array.length o.verdict then
+      invalid_arg "Node_oracle.holds: node id out of range";
+    o.verdict.(v)
+
+  let states o = o.ta.Ta.states
+end

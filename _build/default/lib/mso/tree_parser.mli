@@ -1,0 +1,20 @@
+(** Concrete syntax for MSO-on-trees formulas (mirror of {!Parser}).
+
+    {v
+      atom := ident '=' ident            (node equality)
+            | 'child1' '(' ident ',' ident ')'
+            | 'child2' '(' ident ',' ident ')'
+            | ident 'in' ident           (set membership)
+            | label '(' ident ')'        (label atom)
+      quantifiers as in {!Parser}: exists/forall (nodes),
+      existsset/forallset (sets).
+    v}
+
+    Labels are resolved against the [labels] list. *)
+
+exception Parse_error of string
+
+val parse : labels:string list -> string -> Tree_formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : labels:string list -> string -> Tree_formula.t option

@@ -1,0 +1,43 @@
+type t = int array
+
+let of_string ~alphabet s =
+  Array.init (String.length s) (fun i ->
+      match String.index_opt alphabet s.[i] with
+      | Some a -> a
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Word.of_string: character %C not in alphabet %S"
+               s.[i] alphabet))
+
+let to_string ~alphabet w =
+  String.init (Array.length w) (fun i ->
+      if w.(i) < 0 || w.(i) >= String.length alphabet then
+        invalid_arg "Word.to_string: letter out of alphabet range"
+      else alphabet.[w.(i)])
+
+let random ~seed ~sigma ~len =
+  let st = Random.State.make [| seed; 0x77 |] in
+  Array.init len (fun _ -> Random.State.int st sigma)
+
+let to_graph ?letter_names ~sigma w =
+  let n = Array.length w in
+  let names =
+    match letter_names with
+    | Some names ->
+        if List.length names <> sigma then
+          invalid_arg "Word.to_graph: need one name per letter";
+        names
+    | None -> List.init sigma (fun a -> Printf.sprintf "L%d" a)
+  in
+  let classes =
+    List.mapi
+      (fun a name ->
+        ( name,
+          List.filter_map
+            (fun i -> if w.(i) = a then Some i else None)
+            (List.init n Fun.id) ))
+      names
+  in
+  Cgraph.Graph.create ~n:(max n 1)
+    ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+    ~colors:(("First", if n = 0 then [] else [ 0 ]) :: classes)

@@ -1,0 +1,21 @@
+(** Words over a finite alphabet, and their coloured-graph encoding.
+
+    A word is an [int array] of letters [0..sigma-1].  {!to_graph} turns
+    it into the paper's setting — a coloured path with one colour per
+    letter plus a [First] anchor — so the FO-over-graphs learners run on
+    strings directly. *)
+
+type t = int array
+
+val of_string : alphabet:string -> string -> t
+(** [of_string ~alphabet:"ab" "abba"] = [[|0;1;1;0|]].
+    @raise Invalid_argument on characters outside the alphabet. *)
+
+val to_string : alphabet:string -> t -> string
+
+val random : seed:int -> sigma:int -> len:int -> t
+
+val to_graph : ?letter_names:string list -> sigma:int -> t -> Cgraph.Graph.t
+(** Path [0 - 1 - ... - n-1] with colour classes [L0, L1, ...] (or the
+    given names) for the letters and colour [First] on position 0 (so
+    that first-order formulas can recover the direction of the word). *)

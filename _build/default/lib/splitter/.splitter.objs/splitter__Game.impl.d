@@ -1,0 +1,1 @@
+lib/splitter/game.ml: Array Bfs Cgraph Fun Graph List Ops Option

@@ -1,0 +1,1 @@
+lib/splitter/game.mli: Cgraph Graph

@@ -1,0 +1,1 @@
+lib/splitter/nowhere_dense.ml: Cgraph Game Graph Printf Strategy

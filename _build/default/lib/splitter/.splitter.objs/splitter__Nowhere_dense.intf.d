@@ -1,0 +1,1 @@
+lib/splitter/nowhere_dense.mli: Cgraph Game Graph

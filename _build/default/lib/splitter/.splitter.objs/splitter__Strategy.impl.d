@@ -1,0 +1,1 @@
+lib/splitter/strategy.ml: Array Bfs Cgraph Game Graph Hashtbl Invariants List Ops Option Random

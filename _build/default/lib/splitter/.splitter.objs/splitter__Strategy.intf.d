@@ -1,0 +1,1 @@
+lib/splitter/strategy.mli: Cgraph Game Graph

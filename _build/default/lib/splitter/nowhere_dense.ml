@@ -1,0 +1,39 @@
+open Cgraph
+
+type t = {
+  name : string;
+  splitter : Game.splitter_strategy;
+  s_bound : Graph.t -> r:int -> int;
+}
+
+let forests =
+  {
+    name = "forests";
+    splitter = Strategy.best_heuristic;
+    s_bound = (fun _g ~r -> (2 * r) + 2);
+  }
+
+let bounded_degree ~d =
+  {
+    name = Printf.sprintf "max-degree-%d" d;
+    splitter = Strategy.best_heuristic;
+    s_bound =
+      (fun g ~r -> Strategy.estimate_s ~slack:2 g ~r ~splitter:Strategy.best_heuristic);
+  }
+
+let planar_like =
+  {
+    name = "planar-like";
+    splitter = Strategy.best_heuristic;
+    s_bound =
+      (fun g ~r -> Strategy.estimate_s ~slack:2 g ~r ~splitter:Strategy.best_heuristic);
+  }
+
+let of_graph ?(slack = 2) name g =
+  {
+    name;
+    splitter = Strategy.best_heuristic;
+    s_bound = (fun g' ~r ->
+      let target = if Graph.order g' = Graph.order g then g' else g in
+      Strategy.estimate_s ~slack target ~r ~splitter:Strategy.best_heuristic);
+  }

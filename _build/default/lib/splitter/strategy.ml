@@ -1,0 +1,178 @@
+open Cgraph
+
+(* --------------------------------------------------------------- *)
+(* Splitter strategies                                              *)
+(* --------------------------------------------------------------- *)
+
+let center _arena ~radius:_ ~connector = connector
+
+let component_of arena v =
+  List.find (fun comp -> List.mem v comp) (Invariants.components arena)
+
+let top_of_ball arena ~radius ~connector =
+  let ball = Bfs.ball arena ~r:radius [ connector ] in
+  let root = List.hd (component_of arena connector) in
+  let d = Bfs.distances arena root in
+  List.fold_left
+    (fun best v -> if d.(v) < d.(best) then v else best)
+    (List.hd ball) ball
+
+let min_max_component arena ~radius ~connector =
+  let ball = Bfs.ball arena ~r:radius [ connector ] in
+  let score w =
+    let rest = List.filter (fun v -> v <> w) ball in
+    let emb = Ops.induced arena rest in
+    List.fold_left
+      (fun acc c -> max acc (List.length c))
+      0
+      (Invariants.components emb.Ops.graph)
+  in
+  match ball with
+  | [] -> connector
+  | first :: _ ->
+      let best = ref first and best_score = ref (score first) in
+      List.iter
+        (fun w ->
+          let s = score w in
+          if s < !best_score then begin
+            best := w;
+            best_score := s
+          end)
+        ball;
+      !best
+
+let best_heuristic arena ~radius ~connector =
+  let ball = Bfs.ball arena ~r:radius [ connector ] in
+  if List.length ball <= 160 then min_max_component arena ~radius ~connector
+  else top_of_ball arena ~radius ~connector
+
+(* --------------------------------------------------------------- *)
+(* Connector strategies                                             *)
+(* --------------------------------------------------------------- *)
+
+let connector_random ~seed =
+  let st = Random.State.make [| seed; 0xc0 |] in
+  fun arena -> Random.State.int st (Graph.order arena)
+
+let connector_max_ball ~r arena =
+  let best = ref 0 and best_size = ref (-1) in
+  List.iter
+    (fun v ->
+      let size = List.length (Bfs.ball arena ~r [ v ]) in
+      if size > !best_size then begin
+        best := v;
+        best_size := size
+      end)
+    (Graph.vertices arena);
+  !best
+
+let connector_max_ecc arena =
+  let best = ref 0 and best_ecc = ref (-1) in
+  List.iter
+    (fun v ->
+      let e = Bfs.eccentricity arena v in
+      if e > !best_ecc then begin
+        best := v;
+        best_ecc := e
+      end)
+    (Graph.vertices arena);
+  !best
+
+(* --------------------------------------------------------------- *)
+(* Game values                                                      *)
+(* --------------------------------------------------------------- *)
+
+let minimax_rounds ?(cap = 6) g ~r =
+  (* Arenas are identified by their sorted original-vertex sets. *)
+  let memo : (int list * int, int option) Hashtbl.t = Hashtbl.create 1024 in
+  let rec value vset budget =
+    if vset = [] then Some 0
+    else if budget = 0 then None
+    else begin
+      match Hashtbl.find_opt memo (vset, budget) with
+      | Some cached -> cached
+      | None ->
+          let emb = Ops.induced g vset in
+          let arena = emb.Ops.graph in
+          let orig = Array.init (Graph.order arena) emb.Ops.of_sub in
+          (* Connector maximises over moves; Splitter minimises. *)
+          let worst = ref 0 in
+          (try
+             List.iter
+               (fun v ->
+                 let ball = Bfs.ball arena ~r [ v ] in
+                 let best = ref None in
+                 List.iter
+                   (fun w ->
+                     let next =
+                       List.filter_map
+                         (fun x -> if x = w then None else Some orig.(x))
+                         ball
+                       |> List.sort compare
+                     in
+                     match value next (budget - 1) with
+                     | Some sub -> (
+                         match !best with
+                         | Some b when b <= sub -> ()
+                         | _ -> best := Some sub)
+                     | None -> ())
+                   ball;
+                 match !best with
+                 | Some b -> worst := max !worst (1 + b)
+                 | None ->
+                     (* Splitter cannot win this branch within budget *)
+                     raise Exit)
+               (Graph.vertices arena)
+           with Exit -> worst := budget + 1);
+          let result = if !worst > budget then None else Some !worst in
+          Hashtbl.replace memo (vset, budget) result;
+          result
+    end
+  in
+  value (Graph.vertices g) cap
+
+let minimax_move ?(cap = 6) g ~r ~connector =
+  (* value of the arena after answering with w, via minimax_rounds on the
+     induced remainder; pick the answer minimising it *)
+  let ball = Bfs.ball g ~r [ connector ] in
+  let best = ref None in
+  List.iter
+    (fun w ->
+      let rest = List.filter (fun v -> v <> w) ball in
+      let emb = Ops.induced g rest in
+      match minimax_rounds ~cap:(cap - 1) emb.Ops.graph ~r with
+      | Some v -> (
+          match !best with
+          | Some (_, bv) when bv <= v -> ()
+          | _ -> best := Some (w, v))
+      | None -> ())
+    ball;
+  Option.map fst !best
+
+let optimal ~cap arena ~radius ~connector =
+  match minimax_move ~cap arena ~r:radius ~connector with
+  | Some w -> w
+  | None -> best_heuristic arena ~radius ~connector
+
+let default_seeds = [ 1; 2; 3; 42 ]
+
+let empirical_rounds ?(max_rounds = 64) ?(seeds = default_seeds) g ~r ~splitter =
+  let adversaries =
+    (fun () -> connector_max_ball ~r)
+    :: (fun () -> connector_max_ecc)
+    :: List.map (fun seed () -> connector_random ~seed) seeds
+  in
+  List.fold_left
+    (fun acc make ->
+      match acc with
+      | None -> None
+      | Some best -> (
+          match Game.play_out ~max_rounds g ~r ~connector:(make ()) ~splitter with
+          | Some rounds -> Some (max best rounds)
+          | None -> None))
+    (Some 0) adversaries
+
+let estimate_s ?(slack = 1) g ~r ~splitter =
+  match empirical_rounds g ~r ~splitter with
+  | Some rounds -> max 1 (rounds + slack)
+  | None -> max 1 (Graph.order g)

@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Cgraph Fo Folearn Gen Graph List Modelcheck QCheck QCheck_alcotest Random Test_formula

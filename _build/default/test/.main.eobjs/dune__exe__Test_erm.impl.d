@@ -1,0 +1,1 @@
+test/test_erm.ml: Alcotest Array Bfs Cgraph Fo Folearn Fun Gen Graph List Modelcheck Printf QCheck QCheck_alcotest Splitter

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Cgraph Fo Gen Graph List Modelcheck QCheck QCheck_alcotest Random Test_formula

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Cgraph Fo List Modelcheck Option Printf QCheck QCheck_alcotest Random

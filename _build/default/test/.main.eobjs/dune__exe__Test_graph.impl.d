@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Cgraph Gen Graph Invariants List Ops Option QCheck QCheck_alcotest Random String Vitali

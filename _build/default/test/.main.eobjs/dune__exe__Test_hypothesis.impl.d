@@ -1,0 +1,1 @@
+test/test_hypothesis.ml: Alcotest Array Cgraph Fo Folearn Gen Graph List Modelcheck

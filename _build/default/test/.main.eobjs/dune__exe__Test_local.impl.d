@@ -1,0 +1,1 @@
+test/test_local.ml: Alcotest Array Bfs Cgraph Float Folearn Gen Graph Hashtbl List Modelcheck Printf QCheck QCheck_alcotest

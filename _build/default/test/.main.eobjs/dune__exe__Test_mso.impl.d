@@ -1,0 +1,1 @@
+test/test_mso.ml: Alcotest Array Cgraph Fo Format Fun List Modelcheck Mso Printf QCheck QCheck_alcotest Random

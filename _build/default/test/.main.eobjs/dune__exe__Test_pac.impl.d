@@ -1,0 +1,1 @@
+test/test_pac.ml: Alcotest Array Cgraph Float Folearn Fun Gen Graph Int Lazy List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Cgraph Fo Folearn Gen Graph List Modelcheck QCheck QCheck_alcotest Random Splitter Test_formula

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Cgraph Folearn Graph List Modelcheck Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_splitter.ml: Alcotest Cgraph Gen Graph List Option QCheck QCheck_alcotest Splitter

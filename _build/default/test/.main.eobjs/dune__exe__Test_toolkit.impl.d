@@ -1,0 +1,1 @@
+test/test_toolkit.ml: Alcotest Bfs Cgraph Filename Fo Folearn Fun Gen Graph Io List Modelcheck QCheck QCheck_alcotest Random Sys

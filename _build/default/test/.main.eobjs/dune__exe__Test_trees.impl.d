@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Array Format List Mso Printf QCheck QCheck_alcotest

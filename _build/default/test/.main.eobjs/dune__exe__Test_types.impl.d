@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Cgraph Fo Gen Graph List Modelcheck QCheck QCheck_alcotest

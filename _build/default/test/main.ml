@@ -1,0 +1,21 @@
+(* Aggregated alcotest runner for the whole reproduction. *)
+
+let () =
+  Alcotest.run "folearn"
+    [
+      ("graph", Test_graph.suite);
+      ("formula", Test_formula.suite);
+      ("eval", Test_eval.suite);
+      ("types", Test_types.suite);
+      ("splitter", Test_splitter.suite);
+      ("hypothesis", Test_hypothesis.suite);
+      ("erm", Test_erm.suite);
+      ("pac", Test_pac.suite);
+      ("reduction", Test_reduction.suite);
+      ("counting", Test_counting.suite);
+      ("local", Test_local.suite);
+      ("toolkit", Test_toolkit.suite);
+      ("relational", Test_relational.suite);
+      ("mso", Test_mso.suite);
+      ("trees", Test_trees.suite);
+    ]

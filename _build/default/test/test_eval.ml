@@ -1,0 +1,138 @@
+(* Tests for the direct model checker. *)
+
+open Cgraph
+module F = Fo.Formula
+module E = Modelcheck.Eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p4 = Gen.path 4
+let c5 = Gen.cycle 5
+
+let petersen =
+  (* outer 5-cycle, inner 5-star-polygon, spokes *)
+  Graph.create ~n:10
+    ~edges:
+      [
+        (0, 1); (1, 2); (2, 3); (3, 4); (4, 0);
+        (5, 7); (7, 9); (9, 6); (6, 8); (8, 5);
+        (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);
+      ]
+    ~colors:[]
+
+let test_atoms () =
+  check "edge atom" true (E.holds p4 [ ("x", 0); ("y", 1) ] (F.edge "x" "y"));
+  check "no edge" false (E.holds p4 [ ("x", 0); ("y", 2) ] (F.edge "x" "y"));
+  check "eq" true (E.holds p4 [ ("x", 2); ("y", 2) ] (F.eq "x" "y"));
+  check "true" true (E.holds p4 [] F.tru);
+  check "false" false (E.holds p4 [] F.fls)
+
+let test_unbound () =
+  check "unbound raises" true
+    (try
+       ignore (E.holds p4 [] (F.eq "x" "y"));
+       false
+     with E.Unbound_variable _ -> true)
+
+let test_quantifiers () =
+  (* path has two endpoints: exists a vertex of degree 1 *)
+  let deg1 =
+    F.exists "x"
+      (F.exists "y"
+         (F.and_
+            [
+              F.edge "x" "y";
+              F.forall "z" (F.implies (F.edge "x" "z") (F.eq "z" "y"));
+            ]))
+  in
+  check "path has a degree-1 vertex" true (E.sentence p4 deg1);
+  check "cycle has none" false (E.sentence c5 deg1)
+
+let test_regularity () =
+  (* every vertex has exactly 3 neighbours: Petersen graph *)
+  let three =
+    F.forall "x"
+      (F.exists_many [ "a"; "b"; "c" ]
+         (F.and_
+            [
+              F.edge "x" "a"; F.edge "x" "b"; F.edge "x" "c";
+              F.not_ (F.eq "a" "b"); F.not_ (F.eq "a" "c"); F.not_ (F.eq "b" "c");
+              F.forall "d"
+                (F.implies (F.edge "x" "d")
+                   (F.or_ [ F.eq "d" "a"; F.eq "d" "b"; F.eq "d" "c" ]));
+            ]))
+  in
+  check "Petersen is 3-regular" true (E.sentence petersen three);
+  check "path is not" false (E.sentence p4 three)
+
+let test_triangle_freeness () =
+  let triangle =
+    F.exists_many [ "a"; "b"; "c" ]
+      (F.and_ [ F.edge "a" "b"; F.edge "b" "c"; F.edge "a" "c" ])
+  in
+  check "Petersen is triangle-free" false (E.sentence petersen triangle);
+  check "K4 has a triangle" true (E.sentence (Gen.clique 4) triangle)
+
+let test_colors_in_eval () =
+  let g = Graph.with_colors p4 [ ("End", [ 0; 3 ]) ] in
+  let phi = F.forall "x" (F.implies (F.color "End" "x") (F.not_ (F.exists "y" (F.exists "z" (F.and_ [ F.edge "x" "y"; F.edge "x" "z"; F.not_ (F.eq "y" "z") ]))))) in
+  check "endpoints have < 2 neighbours" true (E.sentence g phi)
+
+let test_holds_tuple () =
+  check "positional binding" true
+    (E.holds_tuple p4 ~vars:[ "x"; "y" ] [| 1; 2 |] (F.edge "x" "y"));
+  check "mismatch raises" true
+    (try
+       ignore (E.holds_tuple p4 ~vars:[ "x" ] [| 1; 2 |] F.tru);
+       false
+     with Invalid_argument _ -> true)
+
+let test_answers () =
+  let ans = E.answers p4 ~vars:[ "x"; "y" ] (F.edge "x" "y") in
+  check_int "directed edge count" 6 (List.length ans);
+  check_int "count_answers agrees" 6
+    (E.count_answers p4 ~vars:[ "x"; "y" ] (F.edge "x" "y"));
+  let isolated = E.answers c5 ~vars:[ "x" ] (F.forall "y" (F.not_ (F.edge "x" "y"))) in
+  check_int "no isolated vertices in cycle" 0 (List.length isolated)
+
+let test_implies_iff_eval () =
+  check "implies" true
+    (E.holds p4 [ ("x", 0); ("y", 2) ] (F.Implies (F.edge "x" "y", F.fls)));
+  check "iff" true
+    (E.holds p4 [ ("x", 0); ("y", 1) ]
+       (F.Iff (F.edge "x" "y", F.edge "y" "x")))
+
+(* agreement with a second evaluation strategy: evaluate via answers *)
+let eval_agrees_with_answers =
+  QCheck.Test.make ~name:"holds agrees with membership in answers" ~count:60
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0xe |] in
+      let g =
+        Gen.colored ~seed ~colors:[ "Red" ] (Gen.gnp ~seed:(seed + 1) ~n:6 ~p:0.4)
+      in
+      let f = Test_formula.gen_formula [ "x"; "y" ] 3 st in
+      let ans = E.answers g ~vars:[ "x"; "y" ] f in
+      List.for_all
+        (fun vx ->
+          List.for_all
+            (fun vy ->
+              E.holds g [ ("x", vx); ("y", vy) ] f
+              = List.exists (fun t -> t = [| vx; vy |]) ans)
+            [ 0; 3; 5 ])
+        [ 1; 2; 4 ])
+
+let suite =
+  [
+    Alcotest.test_case "atoms" `Quick test_atoms;
+    Alcotest.test_case "unbound variable" `Quick test_unbound;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "3-regularity of Petersen" `Quick test_regularity;
+    Alcotest.test_case "triangle-freeness" `Quick test_triangle_freeness;
+    Alcotest.test_case "colors" `Quick test_colors_in_eval;
+    Alcotest.test_case "holds_tuple" `Quick test_holds_tuple;
+    Alcotest.test_case "answers" `Quick test_answers;
+    Alcotest.test_case "implies/iff" `Quick test_implies_iff_eval;
+    QCheck_alcotest.to_alcotest eval_agrees_with_answers;
+  ]

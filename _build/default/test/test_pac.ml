@@ -1,0 +1,249 @@
+(* Tests for the PAC wrapper and the VC-dimension machinery. *)
+
+open Cgraph
+module Pac = Folearn.Pac
+module Vc = Folearn.Vc
+module Sam = Folearn.Sample
+module Brute = Folearn.Erm_brute
+module Hyp = Folearn.Hypothesis
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_f = Alcotest.(check (float 1e-9))
+
+let g = Graph.with_colors (Gen.path 8) [ ("Red", [ 0; 3; 6 ]) ]
+let red v = Graph.has_color g "Red" v.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Distributions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_uniform_target_support () =
+  let d = Pac.uniform_target g ~k:1 ~target:red in
+  let support = Lazy.force d.Pac.support in
+  check_int "8 atoms" 8 (List.length support);
+  check_f "weights sum to 1" 1.0
+    (List.fold_left (fun a (_, p) -> a +. p) 0.0 support);
+  check_f "realisable Bayes risk" 0.0 (Pac.bayes_risk d)
+
+let test_uniform_noisy () =
+  let d = Pac.uniform_noisy g ~k:1 ~target:red ~noise:0.2 in
+  let support = Lazy.force d.Pac.support in
+  check_int "16 atoms" 16 (List.length support);
+  check_f "Bayes risk is the noise rate" 0.2 (Pac.bayes_risk d);
+  (* the target itself has risk exactly the noise *)
+  check_f "target risk" 0.2 (Pac.risk d red);
+  (* the anti-target has risk 0.8 *)
+  check_f "anti-target risk" 0.8 (Pac.risk d (fun v -> not (red v)))
+
+let test_weighted () =
+  let d =
+    Pac.weighted ~describe:"two atoms"
+      [ (([| 0 |], true), 3.0); (([| 1 |], false), 1.0) ]
+  in
+  check_f "normalised risk" 0.25 (Pac.risk d (fun _ -> true));
+  check "empty rejected" true
+    (try
+       ignore (Pac.weighted ~describe:"" []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_draw_deterministic_and_sized () =
+  let d = Pac.uniform_target g ~k:1 ~target:red in
+  let s1 = Pac.draw d ~seed:5 ~m:40 in
+  check_int "m examples" 40 (Sam.size s1);
+  check "deterministic" true (s1 = Pac.draw d ~seed:5 ~m:40);
+  check "labels realisable" true (List.for_all (fun (v, b) -> red v = b) s1)
+
+let test_draw_frequencies () =
+  (* law of large numbers smoke test: every vertex appears *)
+  let d = Pac.uniform_target g ~k:1 ~target:red in
+  let s = Pac.draw d ~seed:1 ~m:400 in
+  List.iter
+    (fun v ->
+      check "vertex sampled" true
+        (List.exists (fun (t, _) -> t.(0) = v) s))
+    (Graph.vertices g)
+
+(* ------------------------------------------------------------------ *)
+(* Sample bounds                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_bound_shape () =
+  let m1 = Pac.sample_bound ~log2_h:10.0 ~eps:0.1 ~delta:0.05 in
+  let m2 = Pac.sample_bound ~log2_h:20.0 ~eps:0.1 ~delta:0.05 in
+  let m3 = Pac.sample_bound ~log2_h:10.0 ~eps:0.05 ~delta:0.05 in
+  check "monotone in |H|" true (m2 > m1);
+  check "quadratic in 1/eps" true (m3 > 3 * m1);
+  check "guards" true
+    (try
+       ignore (Pac.sample_bound ~log2_h:1.0 ~eps:0.0 ~delta:0.1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hypothesis_count_shape () =
+  (* |H| grows with ell by a factor of n *)
+  let h0 = Pac.log2_hypothesis_count g ~k:1 ~ell:0 ~q:1 in
+  let h1 = Pac.log2_hypothesis_count g ~k:1 ~ell:1 ~q:1 in
+  check "log grows by log2 n per parameter" true (h1 >= h0 +. Float.log2 8.0)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end PAC runs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let erm_solver lam = (Brute.solve g ~k:1 ~ell:0 ~q:1 lam).Brute.hypothesis
+
+let test_pac_realisable_run () =
+  let d = Pac.uniform_target g ~k:1 ~target:red in
+  let o = Pac.run ~solver:erm_solver d ~seed:2 ~m:60 in
+  check_f "training error 0" 0.0 o.Pac.training_error;
+  check "generalises" true (o.Pac.generalisation_error <= 0.15)
+
+let test_pac_noisy_run () =
+  let d = Pac.uniform_noisy g ~k:1 ~target:red ~noise:0.1 in
+  let o = Pac.run ~solver:erm_solver d ~seed:2 ~m:200 in
+  (* agnostic: close to the Bayes risk *)
+  check "risk near Bayes" true
+    (o.Pac.generalisation_error <= o.Pac.best_risk +. 0.15)
+
+let pac_gap_shrinks =
+  QCheck.Test.make ~name:"uniform convergence: larger m, smaller gap (on average)"
+    ~count:5
+    QCheck.(int_range 0 100)
+    (fun seed ->
+      let d = Pac.uniform_noisy g ~k:1 ~target:red ~noise:0.15 in
+      let avg_gap m =
+        let runs =
+          List.init 5 (fun i -> Pac.run ~solver:erm_solver d ~seed:(seed + i) ~m)
+        in
+        List.fold_left (fun a o -> a +. o.Pac.gap) 0.0 runs /. 5.0
+      in
+      (* not strictly monotone per draw; allow slack *)
+      avg_gap 320 <= avg_gap 10 +. 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* VC dimension                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dichotomies_single () =
+  (* one tuple: both labelings realisable (empty set and full set of
+     types) *)
+  check_int "2 dichotomies" 2 (Vc.dichotomy_count g ~k:1 ~ell:0 ~q:1 [ [| 0 |] ])
+
+let test_shattering_colour_pair () =
+  (* {Red vertex, non-Red vertex} is shattered at rank 0 already with
+     colours in the vocabulary *)
+  check "pair shattered" true
+    (Vc.is_shattered g ~k:1 ~ell:0 ~q:0 [ [| 0 |]; [| 1 |] ])
+
+let test_no_shatter_same_type () =
+  (* two vertices of equal rank-0 type cannot be shattered without
+     parameters *)
+  check "same-type pair not shattered" false
+    (Vc.is_shattered g ~k:1 ~ell:0 ~q:0 [ [| 1 |]; [| 2 |] ]);
+  (* ... but one parameter distinguishes them *)
+  check "parameter shatters it" true
+    (Vc.is_shattered g ~k:1 ~ell:1 ~q:1 [ [| 1 |]; [| 2 |] ])
+
+let test_vc_lower_bound () =
+  let lb = Vc.lower_bound ~seed:3 g ~k:1 ~ell:1 ~q:1 ~max_d:4 in
+  check "at least 2" true (lb >= 2);
+  check "bounded by cap" true (lb <= 4)
+
+let test_vc_exact_small () =
+  let tiny = Graph.with_colors (Gen.path 4) [ ("Red", [ 1 ]) ] in
+  let d = Vc.exact_small tiny ~k:1 ~ell:0 ~q:1 ~max_d:3 in
+  check "exact in range" true (d >= 1 && d <= 3);
+  (* exact >= randomized lower bound *)
+  let lb = Vc.lower_bound ~seed:1 tiny ~k:1 ~ell:0 ~q:1 ~max_d:3 in
+  check "exact >= lower bound" true (d >= lb)
+
+(* ------------------------------------------------------------------ *)
+(* Ramsey                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module R = Folearn.Ramsey
+
+let test_factorial_binomial () =
+  check_int "5!" 120 (R.factorial 5);
+  check_int "0!" 1 (R.factorial 0);
+  check_int "C(5,2)" 10 (R.binomial 5 2);
+  check_int "out of range" 0 (R.binomial 3 5)
+
+let test_triangle_bound () =
+  check_int "1 colour" 3 (R.triangle_bound ~colors:1);
+  check_int "2 colours (R(3,3)=6)" 6 (R.triangle_bound ~colors:2);
+  check_int "3 colours (R(3,3,3)=17)" 17 (R.triangle_bound ~colors:3);
+  check "monotone" true
+    (R.triangle_bound ~colors:4 > R.triangle_bound ~colors:3)
+
+let test_ramsey_upper () =
+  check_int "R(2,2)" 2 (R.ramsey_upper ~colors:2 ~clique:2);
+  check_int "R(3,3) = 6 via the recurrence" 6 (R.ramsey_upper ~colors:2 ~clique:3);
+  check "trivial clique" true (R.ramsey_upper ~colors:3 ~clique:1 = 1)
+
+let test_monochromatic_triple () =
+  (* colour = parity of the pair sum: {0,2,4} is monochromatic *)
+  let color u v = (u + v) mod 2 in
+  (match R.monochromatic_triple ~color ~equal:Int.equal [ 0; 1; 2; 3; 4 ] with
+  | Some (a, b, c) ->
+      check "really monochromatic" true
+        (color a b = color a c && color a b = color b c)
+  | None -> Alcotest.fail "triple must exist among 5 vertices / 2 colours");
+  check "no triple in tiny set" true
+    (R.monochromatic_triple ~color ~equal:Int.equal [ 0; 1 ] = None)
+
+let test_eliminate () =
+  let color u v = (u + v) mod 3 in
+  let survivors =
+    R.eliminate_until_ramsey_free ~color ~equal:Int.equal (List.init 30 Fun.id)
+  in
+  check "no monochromatic triple remains" true
+    (R.monochromatic_triple ~color ~equal:Int.equal survivors = None);
+  check "bounded by Ramsey" true
+    (List.length survivors <= R.triangle_bound ~colors:3)
+
+let eliminate_is_sound =
+  QCheck.Test.make ~name:"elimination keeps a representative of every colour-class"
+    ~count:40
+    QCheck.(pair (int_range 3 25) (int_range 1 4))
+    (fun (n, classes) ->
+      (* colour classes on vertices; pair colour = "same class?" +
+         class pair id.  The invariant mirrors Lemma 7: if the pair
+         colouring is induced by a vertex partition, a member of every
+         class survives. *)
+      let cls v = v mod classes in
+      let color u v =
+        if cls u = cls v then -1 else (min (cls u) (cls v) * 100) + max (cls u) (cls v)
+      in
+      let survivors =
+        R.eliminate_until_ramsey_free ~color ~equal:Int.equal (List.init n Fun.id)
+      in
+      List.for_all
+        (fun c -> List.exists (fun v -> cls v = c) survivors)
+        (List.init (min classes n) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "uniform target support" `Quick test_uniform_target_support;
+    Alcotest.test_case "uniform noisy" `Quick test_uniform_noisy;
+    Alcotest.test_case "weighted" `Quick test_weighted;
+    Alcotest.test_case "draw" `Quick test_draw_deterministic_and_sized;
+    Alcotest.test_case "draw frequencies" `Quick test_draw_frequencies;
+    Alcotest.test_case "sample bound shape" `Quick test_sample_bound_shape;
+    Alcotest.test_case "hypothesis count shape" `Quick test_hypothesis_count_shape;
+    Alcotest.test_case "pac realisable" `Quick test_pac_realisable_run;
+    Alcotest.test_case "pac noisy" `Quick test_pac_noisy_run;
+    Alcotest.test_case "dichotomies single" `Quick test_dichotomies_single;
+    Alcotest.test_case "shattering colour pair" `Quick test_shattering_colour_pair;
+    Alcotest.test_case "no shatter same type" `Quick test_no_shatter_same_type;
+    Alcotest.test_case "vc lower bound" `Quick test_vc_lower_bound;
+    Alcotest.test_case "vc exact small" `Quick test_vc_exact_small;
+    Alcotest.test_case "factorial binomial" `Quick test_factorial_binomial;
+    Alcotest.test_case "triangle bound" `Quick test_triangle_bound;
+    Alcotest.test_case "ramsey upper" `Quick test_ramsey_upper;
+    Alcotest.test_case "monochromatic triple" `Quick test_monochromatic_triple;
+    Alcotest.test_case "eliminate" `Quick test_eliminate;
+    QCheck_alcotest.to_alcotest pac_gap_shrinks;
+    QCheck_alcotest.to_alcotest eliminate_is_sound;
+  ]

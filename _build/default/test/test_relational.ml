@@ -1,0 +1,193 @@
+(* Tests for relational structures, their graph encoding, and the query
+   translation (the paper's "relational structures can be coded as
+   graphs" claim, Section 2). *)
+
+open Cgraph
+module R = Modelcheck.Relational
+module E = Modelcheck.Eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a small movie database: Likes(person, movie), DirectedBy(movie, dir) *)
+(* elements: 0,1,2 = persons; 3,4,5 = movies; 6,7 = directors *)
+let movies =
+  R.create ~n:8
+    ~relations:
+      [
+        ("Likes", 2, [ [| 0; 3 |]; [| 0; 4 |]; [| 1; 4 |]; [| 2; 5 |] ]);
+        ("DirectedBy", 2, [ [| 3; 6 |]; [| 4; 6 |]; [| 5; 7 |] ]);
+        ("Person", 1, [ [| 0 |]; [| 1 |]; [| 2 |] ]);
+      ]
+
+let test_create_guards () =
+  let fails f = try ignore (f ()); false with R.Ill_formed _ -> true in
+  check "arity mismatch" true
+    (fails (fun () -> R.create ~n:3 ~relations:[ ("R", 2, [ [| 0 |] ]) ]));
+  check "out of range" true
+    (fails (fun () -> R.create ~n:2 ~relations:[ ("R", 1, [ [| 5 |] ]) ]));
+  check "duplicate relation" true
+    (fails (fun () ->
+         R.create ~n:2 ~relations:[ ("R", 1, []); ("R", 1, []) ]));
+  check "zero arity rejected" true
+    (fails (fun () -> R.create ~n:2 ~relations:[ ("R", 0, []) ]))
+
+let test_structure_accessors () =
+  check_int "universe" 8 (List.length (R.universe movies));
+  Alcotest.(check (list string))
+    "relations" [ "DirectedBy"; "Likes"; "Person" ]
+    (R.relation_names movies);
+  check_int "arity" 2 (R.arity movies "Likes");
+  check "holds" true (R.holds movies "Likes" [| 1; 4 |]);
+  check "not holds" false (R.holds movies "Likes" [| 1; 3 |]);
+  check "unknown relation" false (R.holds movies "Nope" [| 0 |])
+
+let test_eval_queries () =
+  (* "x likes a movie directed by y" *)
+  let q =
+    R.RExists
+      ( "m",
+        R.RAnd [ R.RAtom ("Likes", [ "x"; "m" ]); R.RAtom ("DirectedBy", [ "m"; "y" ]) ]
+      )
+  in
+  check "alice likes a film by 6" true (R.eval movies [ ("x", 0); ("y", 6) ] q);
+  check "carol does not like films by 6" false
+    (R.eval movies [ ("x", 2); ("y", 6) ] q);
+  check "carol likes a film by 7" true (R.eval movies [ ("x", 2); ("y", 7) ] q);
+  (* sentences *)
+  check "every person likes something" true
+    (R.eval movies []
+       (R.RForall
+          ( "p",
+            R.RNot (R.RAtom ("Person", [ "p" ]))
+            |> fun neg ->
+            R.ROr [ neg; R.RExists ("m", R.RAtom ("Likes", [ "p"; "m" ])) ] )))
+
+let test_encoding_shape () =
+  let enc = R.encode movies in
+  (* 8 elements + 10 facts, each with 1 fact vertex + arity connectors:
+     Likes: 4*(1+2)=12, DirectedBy: 3*(1+2)=9, Person: 3*(1+1)=6 *)
+  check_int "order" (8 + 12 + 9 + 6) (Graph.order enc.R.graph);
+  check "elements coloured" true
+    (List.for_all
+       (fun a -> Graph.has_color enc.R.graph "_Elem" (enc.R.element a))
+       (R.universe movies));
+  (* fact vertices exist *)
+  check_int "Likes fact vertices" 4
+    (List.length (Graph.color_class enc.R.graph "_Rel_Likes"));
+  (* degree bound: 2 per fact occurrence for elements, 2*arity for fact
+     vertices, 2 for connectors *)
+  check "bounded degree" true (Graph.max_degree enc.R.graph <= 8)
+
+let test_translate_atom () =
+  let enc = R.encode movies in
+  let f = R.translate (R.RAtom ("Likes", [ "x"; "y" ])) in
+  List.iter
+    (fun (a, b) ->
+      let expected = R.holds movies "Likes" [| a; b |] in
+      let got =
+        E.holds enc.R.graph
+          [ ("x", enc.R.element a); ("y", enc.R.element b) ]
+          f
+      in
+      if got <> expected then Alcotest.failf "translation wrong at (%d,%d)" a b)
+    [ (0, 3); (0, 4); (1, 4); (1, 3); (2, 5); (5, 2); (0, 0) ]
+
+let test_translate_repeated_vars () =
+  (* self-loop atom: R(x, x) *)
+  let s = R.create ~n:3 ~relations:[ ("R", 2, [ [| 0; 0 |]; [| 1; 2 |] ]) ] in
+  let enc = R.encode s in
+  let f = R.translate (R.RAtom ("R", [ "x"; "x" ])) in
+  check "diagonal fact found" true (E.holds enc.R.graph [ ("x", 0) ] f);
+  check "off-diagonal rejected" false (E.holds enc.R.graph [ ("x", 1) ] f)
+
+let random_structure seed =
+  let st = Random.State.make [| seed; 0x4e1 |] in
+  let n = 3 + Random.State.int st 4 in
+  let random_facts arity count =
+    List.init count (fun _ ->
+        Array.init arity (fun _ -> Random.State.int st n))
+  in
+  R.create ~n
+    ~relations:
+      [
+        ("R", 2, random_facts 2 (Random.State.int st 6));
+        ("S", 1, random_facts 1 (Random.State.int st 4));
+        ("T", 3, random_facts 3 (Random.State.int st 3));
+      ]
+
+let rec random_query vars depth st =
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  if depth = 0 || Random.State.int st 3 = 0 then
+    match Random.State.int st 4 with
+    | 0 -> R.RAtom ("R", [ pick vars; pick vars ])
+    | 1 -> R.RAtom ("S", [ pick vars ])
+    | 2 -> R.RAtom ("T", [ pick vars; pick vars; pick vars ])
+    | _ -> R.REq (pick vars, pick vars)
+  else begin
+    match Random.State.int st 5 with
+    | 0 -> R.RNot (random_query vars (depth - 1) st)
+    | 1 -> R.RAnd [ random_query vars (depth - 1) st; random_query vars (depth - 1) st ]
+    | 2 -> R.ROr [ random_query vars (depth - 1) st; random_query vars (depth - 1) st ]
+    | 3 ->
+        let v = Printf.sprintf "b%d" (Random.State.int st 2) in
+        R.RExists (v, random_query (v :: vars) (depth - 1) st)
+    | _ ->
+        let v = Printf.sprintf "b%d" (Random.State.int st 2) in
+        R.RForall (v, random_query (v :: vars) (depth - 1) st)
+  end
+
+let translation_correspondence =
+  QCheck.Test.make
+    ~name:"query answers correspond through the encoding (random)" ~count:60
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let s = random_structure seed in
+      let st = Random.State.make [| seed; 0x9e |] in
+      let q = random_query [ "x" ] 3 st in
+      let enc = R.encode s in
+      let f = R.translate q in
+      List.for_all
+        (fun a ->
+          R.eval s [ ("x", a) ] q
+          = E.holds enc.R.graph [ ("x", enc.R.element a) ] f)
+        (R.universe s))
+
+let test_learning_over_database () =
+  (* end-to-end: label person pairs by a relational query, learn over the
+     encoded graph, recover the labels *)
+  let enc = R.encode movies in
+  let target =
+    R.translate
+      (R.RExists
+         ( "m",
+           R.RAnd
+             [ R.RAtom ("Likes", [ "x1"; "m" ]); R.RAtom ("Likes", [ "x2"; "m" ]) ]
+         ))
+  in
+  let persons = [ 0; 1; 2 ] in
+  let pairs =
+    List.concat_map
+      (fun a -> List.map (fun b -> [| enc.R.element a; enc.R.element b |]) persons)
+      persons
+  in
+  let lam =
+    Folearn.Sample.label_with_query enc.R.graph ~formula:target
+      ~xvars:[ "x1"; "x2" ] pairs
+  in
+  check "some positive" true (Folearn.Sample.positives lam <> []);
+  check "some negative" true (Folearn.Sample.negatives lam <> []);
+  let r = Folearn.Erm_brute.solve enc.R.graph ~k:2 ~ell:0 ~q:3 lam in
+  Alcotest.(check (float 1e-9)) "learned the join query" 0.0 r.Folearn.Erm_brute.err
+
+let suite =
+  [
+    Alcotest.test_case "create guards" `Quick test_create_guards;
+    Alcotest.test_case "accessors" `Quick test_structure_accessors;
+    Alcotest.test_case "eval queries" `Quick test_eval_queries;
+    Alcotest.test_case "encoding shape" `Quick test_encoding_shape;
+    Alcotest.test_case "translate atom" `Quick test_translate_atom;
+    Alcotest.test_case "repeated variables" `Quick test_translate_repeated_vars;
+    Alcotest.test_case "learning over a database" `Slow test_learning_over_database;
+    QCheck_alcotest.to_alcotest translation_correspondence;
+  ]
