@@ -7,6 +7,7 @@
      trees   MSO on trees: model checking and node concepts ([19])
      types   print the q-type partition of a graph
      game    play out the splitter game and print the trace
+     lint    static analysis of FO/MSO formulas (folint)
 
    Graph specifications (the --graph argument):
      path:N          cycle:N        clique:N      star:N
@@ -163,15 +164,20 @@ let learn_cmd =
     let g = with_cli_colors g colors in
     let module Sam = Folearn.Sample in
     let xvars = Folearn.Hypothesis.xvars k in
-    List.iter
-      (fun v ->
-        if not (List.mem v xvars) then begin
-          Format.eprintf
-            "folearn learn: the target may only use x1..x%d free, found %s@."
-            k v;
-          exit 2
-        end)
-      (Fo.Formula.free_vars target);
+    (match
+       Analysis.Diagnostic.errors
+         (Analysis.Fo_check.check
+            ~vocab:(Analysis.Vocab.of_graph g)
+            ~allowed_free:xvars target)
+     with
+    | [] -> ()
+    | errs ->
+        Format.eprintf
+          "folearn learn: the target must be a query over x1..x%d in the \
+           graph's vocabulary:@.%s@."
+          k
+          (Analysis.Diagnostic.render_list errs);
+        exit 2);
     let tuples =
       if m = 0 then Sam.all_tuples g ~k else Sam.random_tuples ~seed g ~k ~m
     in
@@ -608,6 +614,239 @@ let trees_cmd =
     Term.(const run $ tree_arg $ labels_arg $ formula_arg $ concept_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Static analysis of formulas ("folint"): signature conformance against
+   a declared vocabulary, scope analysis, paper budget verification
+   (quantifier rank <= q, free variables <= k + l), Gaifman-locality
+   lints, and simplification hints.  Input formulas come from positional
+   files (one formula per line, '#' comments and blank lines ignored)
+   and/or repeated --formula options; exit status is non-zero iff any
+   formula triggers an error-severity diagnostic (or any warning, with
+   --strict). *)
+
+let lint_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Formula corpus files: one formula per line; lines starting \
+             with '#' and blank lines are ignored.")
+  in
+  let formulas_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "f"; "formula" ] ~docv:"FORMULA"
+          ~doc:"Formula given inline (repeatable).")
+  in
+  let lang_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fo", `Fo); ("mso", `Mso); ("trees", `Trees) ]) `Fo
+      & info [ "lang" ]
+          ~doc:
+            "Formula language: $(b,fo) (first-order over coloured graphs), \
+             $(b,mso) (MSO on strings), or $(b,trees) (MSO on trees).")
+  in
+  let vocab_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vocab" ] ~docv:"DECLS"
+          ~doc:
+            "Declared vocabulary for signature conformance, e.g. \
+             $(b,E/2,Red/1,Blue) (a bare name is unary).  Omitted: \
+             signature checks are skipped.")
+  in
+  let alphabet_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alphabet" ] ~docv:"LETTERS"
+          ~doc:
+            "Alphabet for --lang mso/trees, one character per letter \
+             (default ab).  Also bounds the letter indices checked by \
+             the unknown-letter rule.")
+  in
+  let free_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "free" ] ~docv:"VARS"
+          ~doc:
+            "Comma-separated interface variables the formula may use \
+             free, e.g. $(b,x1,x2,y1).  An empty string demands a \
+             sentence.  Omitted: any free variable is allowed.")
+  in
+  let q_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "q" ] ~docv:"Q" ~doc:"Quantifier-rank budget.")
+  in
+  let max_free_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-free" ] ~docv:"N"
+          ~doc:"Free-variable budget (the paper's k + l).")
+  in
+  let radius_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "radius" ] ~docv:"R"
+          ~doc:
+            "Demand syntactic r-locality in the Gaifman sense (FO only): \
+             every quantifier must be relativised to the r-neighbourhood \
+             of the interface variables.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~doc:"Output format: $(b,human) or $(b,json).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as failures too.")
+  in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ]
+          ~doc:"Print every rule id, its severity and description, then exit.")
+  in
+  let run files formulas lang vocab alphabet free q max_free radius format
+      strict list_rules =
+    let open Analysis in
+    if list_rules then begin
+      List.iter
+        (fun r ->
+          Format.printf "%-20s %-8s %s@." r.Diagnostic.id
+            (Diagnostic.severity_to_string r.Diagnostic.default_severity)
+            r.Diagnostic.doc)
+        Diagnostic.rules;
+      0
+    end
+    else begin
+      let vocab =
+        match vocab with
+        | None -> None
+        | Some s -> (
+            match Vocab.of_string s with
+            | Ok v -> Some v
+            | Error m ->
+                Format.eprintf "folearn lint: %s@." m;
+                exit 2)
+      in
+      let allowed_free =
+        Option.map
+          (fun s ->
+            String.split_on_char ',' s |> List.map String.trim
+            |> List.filter (fun v -> v <> ""))
+          free
+      in
+      let letters =
+        let a = Option.value alphabet ~default:"ab" in
+        List.init (String.length a) (fun i -> String.make 1 a.[i])
+      in
+      let sigma =
+        Option.map (fun a -> String.length a) alphabet
+      in
+      let inputs =
+        List.concat_map
+          (fun path ->
+            In_channel.with_open_text path In_channel.input_lines
+            |> List.mapi (fun i line -> (Printf.sprintf "%s:%d" path (i + 1), line))
+            |> List.filter (fun (_, line) ->
+                   let line = String.trim line in
+                   line <> "" && not (String.length line > 0 && line.[0] = '#')))
+          files
+        @ List.map (fun src -> ("--formula", src)) formulas
+      in
+      if inputs = [] then begin
+        Format.eprintf "folearn lint: no formulas given (FILE or --formula)@.";
+        exit 2
+      end;
+      let parse_diag msg =
+        [ Diagnostic.make ~rule:"parse-error" msg ]
+      in
+      let check_one (_, src) =
+        match lang with
+        | `Fo -> (
+            match Fo.Parser.parse (String.trim src) with
+            | f ->
+                Fo_check.check ?vocab ?allowed_free
+                  ~budget:
+                    (Fo_check.budget ?max_rank:q ?max_free ?radius ())
+                  f
+            | exception Fo.Parser.Parse_error m -> parse_diag m)
+        | `Mso -> (
+            match Mso.Parser.parse ~letters (String.trim src) with
+            | f -> Mso_check.check_word ?sigma ?allowed_free ?max_rank:q f
+            | exception Mso.Parser.Parse_error m -> parse_diag m)
+        | `Trees -> (
+            match Mso.Tree_parser.parse ~labels:letters (String.trim src) with
+            | f -> Mso_check.check_tree ?sigma ?allowed_free ?max_rank:q f
+            | exception Mso.Tree_parser.Parse_error m -> parse_diag m)
+      in
+      let results =
+        List.map (fun input -> (input, check_one input)) inputs
+      in
+      let failing ds =
+        Diagnostic.errors ds <> []
+        || (strict && Diagnostic.warnings ds <> [])
+      in
+      (match format with
+      | `Json ->
+          Format.printf "[%s]@."
+            (String.concat ", "
+               (List.map
+                  (fun ((origin, src), ds) ->
+                    Printf.sprintf
+                      {|{"origin": %s, "formula": %s, "ok": %b, "diagnostics": %s}|}
+                      (Diagnostic.json_string origin)
+                      (Diagnostic.json_string (String.trim src))
+                      (not (failing ds))
+                      (Diagnostic.list_to_json ds))
+                  results))
+      | `Human ->
+          List.iter
+            (fun ((origin, src), ds) ->
+              if ds <> [] then begin
+                Format.printf "%s: %s@." origin (String.trim src);
+                List.iter (fun d -> Format.printf "  %a@." Diagnostic.pp d) ds
+              end)
+            results;
+          let count sel =
+            List.fold_left
+              (fun acc (_, ds) -> acc + List.length (sel ds))
+              0 results
+          in
+          Format.printf
+            "%d formulas: %d errors, %d warnings, %d hints@."
+            (List.length results)
+            (count Diagnostic.errors)
+            (count Diagnostic.warnings)
+            (count Diagnostic.hints));
+      if List.exists (fun (_, ds) -> failing ds) results then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse FO/MSO formulas: signature conformance, \
+          scopes, paper budgets, locality, simplification hints.")
+    Term.(
+      const run $ files_arg $ formulas_arg $ lang_arg $ vocab_arg
+      $ alphabet_arg $ free_arg $ q_arg $ max_free_arg $ radius_arg
+      $ format_arg $ strict_arg $ list_rules_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "learning first-order queries (PODS 2022 reproduction)" in
@@ -617,5 +856,5 @@ let () =
        (Cmd.group info
           [
             learn_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd; strings_cmd;
-            trees_cmd;
+            trees_cmd; lint_cmd;
           ]))

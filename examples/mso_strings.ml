@@ -12,7 +12,6 @@ module M = Mso.Formula
 module W = Mso.Word
 module L = Mso.Learner
 module O = Mso.Oracle
-module D = Mso.Dfa
 
 let () =
   (* A log file as a string over the alphabet {o, w, e}:

@@ -12,7 +12,6 @@
 open Cgraph
 module R = Modelcheck.Relational
 module Sam = Folearn.Sample
-module Brute = Folearn.Erm_brute
 
 (* a streaming-service database *)
 let people = [ (0, "ada"); (1, "ben"); (2, "cleo"); (3, "dan") ]

@@ -1,0 +1,129 @@
+type severity = Error | Warning | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+
+type t = {
+  rule : string;
+  severity : severity;
+  message : string;
+  path : string list;
+}
+
+type rule_info = {
+  id : string;
+  default_severity : severity;
+  doc : string;
+}
+
+let rules =
+  [
+    { id = "parse-error"; default_severity = Error;
+      doc = "the input is not a syntactically valid formula" };
+    { id = "unknown-relation"; default_severity = Error;
+      doc = "atom uses a relation symbol not declared in the vocabulary" };
+    { id = "arity-mismatch"; default_severity = Error;
+      doc = "atom applies a relation symbol with the wrong number of arguments" };
+    { id = "unbound-variable"; default_severity = Error;
+      doc = "variable occurs free but is not a declared interface variable" };
+    { id = "kind-clash"; default_severity = Error;
+      doc = "MSO variable used both as a position and as a set variable" };
+    { id = "shadowed-binder"; default_severity = Warning;
+      doc = "quantifier re-binds a variable already in scope" };
+    { id = "vacuous-quantifier"; default_severity = Warning;
+      doc = "quantified variable does not occur free in the body" };
+    { id = "rank-over-budget"; default_severity = Error;
+      doc = "quantifier rank exceeds the declared budget q" };
+    { id = "free-over-budget"; default_severity = Error;
+      doc = "more free variables than the declared budget admits" };
+    { id = "unknown-letter"; default_severity = Error;
+      doc = "letter or label index outside the declared alphabet" };
+    { id = "invalid-parameter"; default_severity = Error;
+      doc = "learning budget (k, ell, q, tmax, r) outside its legal range" };
+    { id = "non-local"; default_severity = Error;
+      doc = "quantifier not relativised to the r-neighbourhood of the \
+             interface variables" };
+    { id = "double-negation"; default_severity = Hint;
+      doc = "~~phi simplifies to phi" };
+    { id = "trivial-atom"; default_severity = Hint;
+      doc = "atom has a constant truth value" };
+    { id = "duplicate-junct"; default_severity = Hint;
+      doc = "junction lists the same subformula twice" };
+    { id = "constant-junct"; default_severity = Hint;
+      doc = "conjunction containing false / disjunction containing true" };
+  ]
+
+let default_severity id =
+  match List.find_opt (fun r -> r.id = id) rules with
+  | Some r -> r.default_severity
+  | None -> Error
+
+let make ?(path = []) ~rule message =
+  { rule; severity = default_severity rule; message; path }
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let hints ds = List.filter (fun d -> d.severity = Hint) ds
+
+let rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let worst = function
+  | [] -> None
+  | d :: ds ->
+      Some
+        (List.fold_left
+           (fun acc d -> if rank d.severity < rank acc then d.severity else acc)
+           d.severity ds)
+
+let sort ds =
+  List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) ds
+
+let pp_path ppf = function
+  | [] -> Format.pp_print_string ppf "<toplevel>"
+  | path ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " > ")
+        Format.pp_print_string ppf path
+
+let pp ppf d =
+  Format.fprintf ppf "%a[%s] at %a: %s" pp_severity d.severity d.rule pp_path
+    d.path d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let render_list ds =
+  String.concat "\n" (List.map to_string (sort ds))
+
+(* Minimal JSON emission — enough for the diagnostic fields (rule ids and
+   paths are ASCII; messages may contain quotes/backslashes). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf {|"%s"|} (json_escape s)
+
+let to_json d =
+  Printf.sprintf {|{"rule": "%s", "severity": "%s", "message": "%s", "path": [%s]}|}
+    (json_escape d.rule)
+    (severity_to_string d.severity)
+    (json_escape d.message)
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf {|"%s"|} (json_escape s)) d.path))
+
+let list_to_json ds =
+  Printf.sprintf "[%s]" (String.concat ", " (List.map to_json ds))

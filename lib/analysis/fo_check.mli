@@ -1,0 +1,41 @@
+(** Static analysis of first-order formulas ({!Fo.Formula.t}).
+
+    [check] runs every analysis whose inputs were supplied and returns
+    structured {!Diagnostic.t}s instead of raising: omit [vocab] to skip
+    signature conformance, [allowed_free] to admit any free variable,
+    and the budget fields to skip budget verification.  See
+    {!Diagnostic} for the rule catalogue. *)
+
+type budget = {
+  max_rank : int option;  (** quantifier-rank budget [q] *)
+  max_free : int option;  (** free-variable budget, usually [k + ℓ] *)
+  radius : int option;  (** demanded syntactic locality radius [r] *)
+}
+
+val no_budget : budget
+
+val budget :
+  ?max_rank:int -> ?max_free:int -> ?radius:int -> unit -> budget
+
+val check :
+  ?vocab:Vocab.t ->
+  ?allowed_free:Fo.Formula.var list ->
+  ?budget:budget ->
+  Fo.Formula.t ->
+  Diagnostic.t list
+(** All diagnostics, in severity order ({!Diagnostic.sort}). *)
+
+val inferred_radius :
+  around:Fo.Formula.var list -> Fo.Formula.t -> int option
+(** The minimal [r] such that the formula is {e syntactically} [r]-local
+    around the given interface variables: every quantifier is guarded by
+    a distance formula in the shape produced by
+    {!Fo.Localize.relativize}, and chained guards are accumulated
+    (a variable within distance [a] of a variable within distance [b] of
+    the interface contributes [a + b]).  [None] if some quantifier is
+    unguarded; [Some 0] for quantifier-free formulas. *)
+
+val as_dist_le : Fo.Formula.t -> (Fo.Formula.var * Fo.Formula.var * int) option
+(** Recognise the recursive-doubling distance formulas of
+    {!Fo.Localize.dist_le}: [as_dist_le (dist_le ~d x y) = Some (x, y, d)].
+    Exposed for the property tests. *)

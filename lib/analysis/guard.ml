@@ -1,0 +1,48 @@
+let require ~what ds =
+  match Diagnostic.errors ds with
+  | [] -> ()
+  | errs ->
+      invalid_arg (Printf.sprintf "%s:\n%s" what (Diagnostic.render_list errs))
+
+let param name v lo =
+  if v >= lo then []
+  else
+    [
+      Diagnostic.make ~rule:"invalid-parameter"
+        (Printf.sprintf "%s = %d, but %s >= %d is required" name v name lo);
+    ]
+
+let budgets ?ell ?q ?tmax ?radius ~k () =
+  param "k" k 1
+  @ (match ell with Some l -> param "ell" l 0 | None -> [])
+  @ (match q with Some q -> param "q" q 0 | None -> [])
+  @ (match tmax with Some t -> param "tmax" t 1 | None -> [])
+  @ match radius with Some r -> param "r" r 0 | None -> []
+
+let sample_arity ~k examples =
+  List.filter (fun v -> Array.length v <> k) examples
+  |> List.map (fun v ->
+         Diagnostic.make ~rule:"arity-mismatch"
+           (Printf.sprintf
+              "example tuple (%s) has arity %d, the learner expects k = %d"
+              (String.concat ", "
+                 (Array.to_list (Array.map string_of_int v)))
+              (Array.length v) k))
+
+let xyvars ~k ~ell =
+  List.init k (fun i -> Printf.sprintf "x%d" (i + 1))
+  @ List.init ell (fun i -> Printf.sprintf "y%d" (i + 1))
+
+(* The runtime guards deliberately skip the vocabulary pass: the
+   evaluator is open-world about colours ([Graph.has_color] is [false]
+   for undeclared names), so a formula mentioning a colour the graph
+   lacks is well-defined.  Strict vocabulary conformance is the lint
+   CLI's job. *)
+
+let hypothesis_formula ~k ~ell ?q f =
+  Fo_check.check
+    ~allowed_free:(xyvars ~k ~ell)
+    ~budget:(Fo_check.budget ?max_rank:q ~max_free:(k + ell) ())
+    f
+
+let sentence f = Fo_check.check ~allowed_free:[] f

@@ -1,0 +1,273 @@
+(* Both MSO ASTs (words and binary trees) are lowered to one skeleton so
+   every rule is implemented once. *)
+
+type use = UPos | USet
+
+let use_name = function UPos -> "position" | USet -> "set"
+
+type node =
+  | KConst of bool
+  | KAtom of {
+      rendered : string;
+      vars : (string * use) list;
+      letter : int option;  (* letter/label index, for unknown-letter *)
+    }
+  | KNot of node
+  | KJunct of bool * node list  (* true = conjunction *)
+  | KQuant of bool * use * string * node  (* existential?, kind, var, body *)
+
+let rec of_word (f : Mso.Formula.t) =
+  match f with
+  | Mso.Formula.MTrue -> KConst true
+  | Mso.Formula.MFalse -> KConst false
+  | Mso.Formula.Letter (a, x) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "letter_%d(%s)" a x;
+          vars = [ (x, UPos) ];
+          letter = Some a;
+        }
+  | Mso.Formula.Less (x, y) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "%s < %s" x y;
+          vars = [ (x, UPos); (y, UPos) ];
+          letter = None;
+        }
+  | Mso.Formula.Succ (x, y) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "succ(%s, %s)" x y;
+          vars = [ (x, UPos); (y, UPos) ];
+          letter = None;
+        }
+  | Mso.Formula.EqPos (x, y) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "%s = %s" x y;
+          vars = [ (x, UPos); (y, UPos) ];
+          letter = None;
+        }
+  | Mso.Formula.Mem (x, s) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "%s in %s" x s;
+          vars = [ (x, UPos); (s, USet) ];
+          letter = None;
+        }
+  | Mso.Formula.Not g -> KNot (of_word g)
+  | Mso.Formula.And gs -> KJunct (true, List.map of_word gs)
+  | Mso.Formula.Or gs -> KJunct (false, List.map of_word gs)
+  | Mso.Formula.ExistsPos (x, g) -> KQuant (true, UPos, x, of_word g)
+  | Mso.Formula.ForallPos (x, g) -> KQuant (false, UPos, x, of_word g)
+  | Mso.Formula.ExistsSet (x, g) -> KQuant (true, USet, x, of_word g)
+  | Mso.Formula.ForallSet (x, g) -> KQuant (false, USet, x, of_word g)
+
+let rec of_tree (f : Mso.Tree_formula.t) =
+  match f with
+  | Mso.Tree_formula.TTrue -> KConst true
+  | Mso.Tree_formula.TFalse -> KConst false
+  | Mso.Tree_formula.Label (a, x) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "label_%d(%s)" a x;
+          vars = [ (x, UPos) ];
+          letter = Some a;
+        }
+  | Mso.Tree_formula.Child1 (x, y) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "child1(%s, %s)" x y;
+          vars = [ (x, UPos); (y, UPos) ];
+          letter = None;
+        }
+  | Mso.Tree_formula.Child2 (x, y) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "child2(%s, %s)" x y;
+          vars = [ (x, UPos); (y, UPos) ];
+          letter = None;
+        }
+  | Mso.Tree_formula.EqPos (x, y) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "%s = %s" x y;
+          vars = [ (x, UPos); (y, UPos) ];
+          letter = None;
+        }
+  | Mso.Tree_formula.Mem (x, s) ->
+      KAtom
+        {
+          rendered = Printf.sprintf "%s in %s" x s;
+          vars = [ (x, UPos); (s, USet) ];
+          letter = None;
+        }
+  | Mso.Tree_formula.Not g -> KNot (of_tree g)
+  | Mso.Tree_formula.And gs -> KJunct (true, List.map of_tree gs)
+  | Mso.Tree_formula.Or gs -> KJunct (false, List.map of_tree gs)
+  | Mso.Tree_formula.ExistsPos (x, g) -> KQuant (true, UPos, x, of_tree g)
+  | Mso.Tree_formula.ForallPos (x, g) -> KQuant (false, UPos, x, of_tree g)
+  | Mso.Tree_formula.ExistsSet (x, g) -> KQuant (true, USet, x, of_tree g)
+  | Mso.Tree_formula.ForallSet (x, g) -> KQuant (false, USet, x, of_tree g)
+
+(* ------------------------------------------------------------------ *)
+
+module VSet = Set.Make (String)
+module VMap = Map.Make (String)
+
+let binder_step existential kind x =
+  Printf.sprintf "%s%s %s"
+    (if existential then "exists" else "forall")
+    (match kind with UPos -> "" | USet -> "set")
+    x
+
+let junct_step conj i =
+  Printf.sprintf "%s[%d]" (if conj then "and" else "or") (i + 1)
+
+let rec rank = function
+  | KConst _ | KAtom _ -> 0
+  | KNot g -> rank g
+  | KJunct (_, gs) -> List.fold_left (fun acc g -> max acc (rank g)) 0 gs
+  | KQuant (_, _, _, g) -> 1 + rank g
+
+let rec free_set = function
+  | KConst _ -> VSet.empty
+  | KAtom { vars; _ } -> VSet.of_list (List.map fst vars)
+  | KNot g -> free_set g
+  | KJunct (_, gs) ->
+      List.fold_left (fun acc g -> VSet.union acc (free_set g)) VSet.empty gs
+  | KQuant (_, _, x, g) -> VSet.remove x (free_set g)
+
+let rec equal_node a b =
+  match (a, b) with
+  | KConst x, KConst y -> x = y
+  | KAtom x, KAtom y -> x.rendered = y.rendered
+  | KNot x, KNot y -> equal_node x y
+  | KJunct (cx, xs), KJunct (cy, ys) ->
+      cx = cy
+      && List.length xs = List.length ys
+      && List.for_all2 equal_node xs ys
+  | KQuant (ex, kx, x, gx), KQuant (ey, ky, y, gy) ->
+      ex = ey && kx = ky && x = y && equal_node gx gy
+  | _ -> false
+
+let check_node ?sigma ?allowed_free ?max_rank node =
+  let diags = ref [] in
+  let emit ~path ~rule msg =
+    diags := Diagnostic.make ~path:(List.rev path) ~rule msg :: !diags
+  in
+  let total_rank = rank node in
+  (* kinds: the kind a variable was first seen with (bound or free),
+     per scope for bound variables, global for free ones *)
+  let free_kinds = ref VMap.empty in
+  let reported_unbound = ref VSet.empty in
+  let reported_clash = ref VSet.empty in
+  let clash path x k1 k2 =
+    if not (VSet.mem x !reported_clash) then begin
+      reported_clash := VSet.add x !reported_clash;
+      emit ~path ~rule:"kind-clash"
+        (Printf.sprintf
+           "variable %S is used both as a %s variable and as a %s variable"
+           x (use_name k1) (use_name k2))
+    end
+  in
+  let use path env (x, k) =
+    match VMap.find_opt x env with
+    | Some k' -> if k <> k' then clash path x k' k
+    | None -> (
+        (match VMap.find_opt x !free_kinds with
+        | Some k' -> if k <> k' then clash path x k' k
+        | None -> free_kinds := VMap.add x k !free_kinds);
+        match allowed_free with
+        | Some allowed
+          when (not (List.mem x allowed))
+               && not (VSet.mem x !reported_unbound) ->
+            reported_unbound := VSet.add x !reported_unbound;
+            emit ~path ~rule:"unbound-variable"
+              (Printf.sprintf
+                 "variable %S occurs free but is not among the interface \
+                  variables [%s]"
+                 x
+                 (String.concat "; " allowed))
+        | _ -> ())
+  in
+  let rec go path env remaining node =
+    match node with
+    | KConst _ -> ()
+    | KAtom { rendered; vars; letter } ->
+        List.iter (use path env) vars;
+        (match (letter, sigma) with
+        | Some a, Some s when a < 0 || a >= s ->
+            emit ~path ~rule:"unknown-letter"
+              (Printf.sprintf
+                 "atom %s uses letter index %d outside the declared \
+                  alphabet 0..%d"
+                 rendered a (s - 1))
+        | _ -> ())
+    | KNot (KNot g) ->
+        emit ~path ~rule:"double-negation" "double negation; ~~phi is phi";
+        go ("~" :: "~" :: path) env remaining g
+    | KNot g -> go ("~" :: path) env remaining g
+    | KJunct (conj, gs) ->
+        let rec dup i seen = function
+          | [] -> ()
+          | g :: rest ->
+              if List.exists (equal_node g) seen then
+                emit
+                  ~path:(junct_step conj i :: path)
+                  ~rule:"duplicate-junct"
+                  (Printf.sprintf "%s repeats a subformula; drop the duplicate"
+                     (if conj then "conjunction" else "disjunction"))
+              else ();
+              dup (i + 1) (g :: seen) rest
+        in
+        dup 0 [] gs;
+        if List.exists (fun g -> g = KConst (not conj)) gs then
+          emit ~path ~rule:"constant-junct"
+            (Printf.sprintf "%s contains %s, so the whole junction is %s"
+               (if conj then "conjunction" else "disjunction")
+               (if conj then "false" else "true")
+               (if conj then "false" else "true"));
+        List.iteri
+          (fun i g -> go (junct_step conj i :: path) env remaining g)
+          gs
+    | KQuant (existential, kind, x, body) ->
+        let path = binder_step existential kind x :: path in
+        (match max_rank with
+        | Some _ when remaining = 0 ->
+            emit ~path ~rule:"rank-over-budget"
+              (Printf.sprintf
+                 "this quantifier exceeds the rank budget: the formula has \
+                  quantifier rank %d, the declared budget is %d"
+                 total_rank
+                 (Option.get max_rank))
+        | _ ->
+            let shadows_bound = VMap.mem x env in
+            let shadows_free =
+              match allowed_free with
+              | Some l -> List.mem x l
+              | None -> false
+            in
+            if shadows_bound || shadows_free then
+              emit ~path ~rule:"shadowed-binder"
+                (Printf.sprintf "binder re-binds %s %S already in scope"
+                   (if shadows_bound then "the bound variable"
+                    else "the interface variable")
+                   x);
+            if not (VSet.mem x (free_set body)) then
+              emit ~path ~rule:"vacuous-quantifier"
+                (Printf.sprintf
+                   "quantifier binds %s variable %S that does not occur \
+                    free in its body"
+                   (use_name kind) x);
+            go path (VMap.add x kind env) (remaining - 1) body)
+  in
+  let remaining = match max_rank with Some q -> q | None -> max_int in
+  go [] VMap.empty remaining node;
+  Diagnostic.sort (List.rev !diags)
+
+let check_word ?sigma ?allowed_free ?max_rank f =
+  check_node ?sigma ?allowed_free ?max_rank (of_word f)
+
+let check_tree ?sigma ?allowed_free ?max_rank f =
+  check_node ?sigma ?allowed_free ?max_rank (of_tree f)

@@ -1,0 +1,25 @@
+(** Static analysis of MSO formulas — words ({!Mso.Formula.t}) and trees
+    ({!Mso.Tree_formula.t}) — producing the same {!Diagnostic.t}s as
+    {!Fo_check}, so the CLI and the learners report uniformly across the
+    FO and MSO pipelines.
+
+    Both ASTs are lowered to a common skeleton and share one checker.
+    Rules: [kind-clash], [unknown-letter] (when [sigma] is given),
+    [unbound-variable] (when [allowed_free] is given), [shadowed-binder],
+    [vacuous-quantifier], [rank-over-budget] (position {e and} set
+    quantifiers both count), and the simplification hints
+    [double-negation], [duplicate-junct], [constant-junct]. *)
+
+val check_word :
+  ?sigma:int ->
+  ?allowed_free:string list ->
+  ?max_rank:int ->
+  Mso.Formula.t ->
+  Diagnostic.t list
+
+val check_tree :
+  ?sigma:int ->
+  ?allowed_free:string list ->
+  ?max_rank:int ->
+  Mso.Tree_formula.t ->
+  Diagnostic.t list

@@ -1,0 +1,34 @@
+module SMap = Map.Make (String)
+
+type t = int SMap.t
+
+let empty = SMap.empty
+let declare v name arity = SMap.add name arity v
+let graph colors = List.fold_left (fun v c -> declare v c 1) (declare empty "E" 2) colors
+let of_graph g = graph (Cgraph.Graph.color_names g)
+let arity v name = SMap.find_opt name v
+let mem v name = SMap.mem name v
+let names v = SMap.bindings v |> List.map fst
+
+let of_string s =
+  let decls = String.split_on_char ',' s |> List.map String.trim in
+  let rec go v = function
+    | [] -> Ok v
+    | "" :: rest -> go v rest
+    | d :: rest -> (
+        match String.index_opt d '/' with
+        | None -> go (declare v d 1) rest
+        | Some i -> (
+            let name = String.sub d 0 i in
+            let ar = String.sub d (i + 1) (String.length d - i - 1) in
+            match int_of_string_opt ar with
+            | Some n when n >= 0 && name <> "" -> go (declare v name n) rest
+            | _ -> Error (Printf.sprintf "bad vocabulary entry %S (want NAME/ARITY)" d)))
+  in
+  go empty decls
+
+let pp ppf v =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (name, ar) -> Format.fprintf ppf "%s/%d" name ar)
+    ppf (SMap.bindings v)

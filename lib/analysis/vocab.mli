@@ -1,0 +1,36 @@
+(** Declared vocabularies for signature-conformance checking.
+
+    The paper fixes a vocabulary [τ = {E, P_1, ..., P_c}] of one binary
+    edge relation and unary colour predicates (Section 2); the relational
+    encoding of {!Modelcheck.Relational} generalises to arbitrary arities.
+    A {!t} declares the relation symbols an analysed formula may use,
+    each with its arity, so {!Fo_check} can flag unknown symbols and
+    arity mismatches before a formula ever reaches an evaluator. *)
+
+type t
+
+val empty : t
+(** No symbols at all — not even [E]. *)
+
+val declare : t -> string -> int -> t
+(** [declare v name arity]; re-declaring a name overrides its arity. *)
+
+val graph : string list -> t
+(** The coloured-graph vocabulary: [E/2] plus the given unary colours. *)
+
+val of_graph : Cgraph.Graph.t -> t
+(** [graph (Graph.color_names g)]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a declaration list ["E/2,Red/1,Blue/1"].  A bare name declares
+    a unary symbol (["Red"] is ["Red/1"]).  [E] is {e not} implicit:
+    declare it (or start from {!graph}). *)
+
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** Declared names, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** [E/2, Red/1] — the syntax accepted by {!of_string}. *)

@@ -8,11 +8,8 @@ type result = {
 }
 
 let check_arity ~k lam =
-  match Sample.arity lam with
-  | Some k' when k' <> k ->
-      invalid_arg
-        (Printf.sprintf "Erm_brute: examples have arity %d, expected %d" k' k)
-  | _ -> ()
+  Analysis.Guard.require ~what:"Erm_brute"
+    (Analysis.Guard.sample_arity ~k (List.map fst lam))
 
 (* Best type-set for fixed parameters: majority vote per q-type class of
    v̄·w̄.  Returns (positive type list, number of errors). *)
@@ -51,8 +48,9 @@ let solve_for_params g ~k ~q ~params lam =
   solve_for_params_ctx (Types.make_ctx g) g ~k ~q ~params lam
 
 let solve g ~k ~ell ~q lam =
+  Analysis.Guard.require ~what:"Erm_brute.solve"
+    (Analysis.Guard.budgets ~ell ~q ~k ());
   check_arity ~k lam;
-  if ell < 0 then invalid_arg "Erm_brute.solve: negative parameter count";
   let ctx = Types.make_ctx g in
   let candidates = Graph.Tuple.all ~n:(Graph.order g) ~k:ell in
   let tried = ref 0 in

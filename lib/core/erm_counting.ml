@@ -8,11 +8,8 @@ type result = {
 }
 
 let check_arity ~k lam =
-  match Sample.arity lam with
-  | Some k' when k' <> k ->
-      invalid_arg
-        (Printf.sprintf "Erm_counting: examples have arity %d, expected %d" k' k)
-  | _ -> ()
+  Analysis.Guard.require ~what:"Erm_counting"
+    (Analysis.Guard.sample_arity ~k (List.map fst lam))
 
 let majority ctx ~q ~tmax ~params lam =
   let votes : (C.ty, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
@@ -35,9 +32,9 @@ let majority ctx ~q ~tmax ~params lam =
     votes ([], 0)
 
 let solve g ~k ~ell ~q ~tmax lam =
+  Analysis.Guard.require ~what:"Erm_counting.solve"
+    (Analysis.Guard.budgets ~ell ~q ~tmax ~k ());
   check_arity ~k lam;
-  if ell < 0 then invalid_arg "Erm_counting.solve: negative parameter count";
-  if tmax < 1 then invalid_arg "Erm_counting.solve: tmax must be >= 1";
   let ctx = C.make_ctx g in
   let tried = ref 0 in
   let best = ref None in

@@ -38,11 +38,9 @@ let rec tuples_over pool j =
       (tuples_over pool (j - 1))
 
 let solve ?radius g ~k ~ell ~q lam =
-  (match Sample.arity lam with
-  | Some k' when k' <> k ->
-      invalid_arg
-        (Printf.sprintf "Erm_local: examples have arity %d, expected %d" k' k)
-  | _ -> ());
+  Analysis.Guard.require ~what:"Erm_local.solve"
+    (Analysis.Guard.budgets ~ell ~q ?radius ~k ()
+    @ Analysis.Guard.sample_arity ~k (List.map fst lam));
   let r = match radius with Some r -> r | None -> Fo.Gaifman.radius q in
   let entries =
     List.sort_uniq compare

@@ -242,12 +242,10 @@ let rec subsets_up_to cap = function
 
 let solve cfg g lam =
   if cfg.epsilon <= 0.0 then invalid_arg "Erm_nd.solve: epsilon must be > 0";
-  (match Sample.arity lam with
-  | Some k' when k' <> cfg.k ->
-      invalid_arg
-        (Printf.sprintf "Erm_nd.solve: examples have arity %d, expected %d" k'
-           cfg.k)
-  | _ -> ());
+  Analysis.Guard.require ~what:"Erm_nd.solve"
+    (Analysis.Guard.budgets ~ell:cfg.ell_star ~q:cfg.q_star ?tmax:cfg.counting
+       ?radius:cfg.radius ~k:cfg.k ()
+    @ Analysis.Guard.sample_arity ~k:cfg.k (List.map fst lam));
   let k = cfg.k and ell_star = max 1 cfg.ell_star and q = cfg.q_star in
   let r =
     match cfg.radius with Some r -> r | None -> Fo.Gaifman.radius cfg.q_star
@@ -272,9 +270,7 @@ let solve cfg g lam =
   let typer =
     match cfg.counting with
     | None -> plain_typer ~q ~r
-    | Some tmax ->
-        if tmax < 1 then invalid_arg "Erm_nd.solve: counting cap must be >= 1";
-        counting_typer ~q ~r ~tmax
+    | Some tmax -> counting_typer ~q ~r ~tmax
   in
   let typ_orig = typer.a_typ g in
   let branches = ref 0 in

@@ -32,16 +32,10 @@ let check_tuple g v =
 let of_formula g ~k ~formula ~params =
   check_tuple g params;
   let ell = Array.length params in
-  let allowed = xvars k @ yvars ell in
-  List.iter
-    (fun x ->
-      if not (List.mem x allowed) then
-        invalid_arg
-          (Printf.sprintf
-             "Hypothesis.of_formula: free variable %S outside x1..x%d, y1..y%d"
-             x k ell))
-    (Fo.Formula.free_vars formula);
-  let vars = allowed in
+  Analysis.Guard.require ~what:"Hypothesis.of_formula"
+    (Analysis.Guard.budgets ~ell ~k ()
+    @ Analysis.Guard.hypothesis_formula ~k ~ell formula);
+  let vars = xvars k @ yvars ell in
   {
     graph = g;
     k;

@@ -159,8 +159,8 @@ let gamma_general ?(counter = ref 0) ~oracle ~oracle_ell ~radius ~q g u v () =
 
 let model_check ?(general_l = false) ?(oracle_ell = 1) ?locality_radius ~oracle
     g phi =
-  if Fo.Formula.free_vars phi <> [] then
-    invalid_arg "Reduction.model_check: formula must be a sentence";
+  Analysis.Guard.require ~what:"Reduction.model_check"
+    (Analysis.Guard.sentence phi);
   let oracle_calls = ref 0 in
   let nodes = ref 0 in
   let rep_sets = ref [] in

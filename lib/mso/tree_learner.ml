@@ -106,7 +106,6 @@ module Node_oracle = struct
 
   type t = {
     ta : Ta.t;
-    sigma : int;
     verdict : bool array;  (** per preorder node id *)
   }
 
@@ -176,7 +175,7 @@ module Node_oracle = struct
           pass2 r above_r)
     in
     pass2 tree (Array.copy ta.Ta.accept);
-    { ta; sigma; verdict }
+    { ta; verdict }
 
   let holds o v =
     if v < 0 || v >= Array.length o.verdict then

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Corpus check for `folearn_cli lint`.
+#
+#   lint_corpus.sh BINARY GOOD_DIR BAD_DIR
+#
+# Every *.fo file carries its own lint invocation in a `# lint:` header.
+# Files in GOOD_DIR (formula corpora extracted from examples/*.ml) must
+# lint clean (exit 0); files in BAD_DIR are seeded defects and must make
+# lint exit non-zero AND name the rule id from their `# expect:` header.
+
+bin=$1
+good_dir=$2
+bad_dir=$3
+fail=0
+
+if [ -z "$bin" ] || [ -z "$good_dir" ] || [ -z "$bad_dir" ]; then
+    echo "usage: lint_corpus.sh BINARY GOOD_DIR BAD_DIR" >&2
+    exit 2
+fi
+
+for f in "$good_dir"/*.fo; do
+    flags=$(sed -n 's/^# lint: *//p' "$f")
+    if out=$("$bin" lint $flags "$f" 2>&1); then
+        echo "ok (clean):    $f"
+    else
+        echo "FAIL (expected clean exit): $f" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+
+for f in "$bad_dir"/*.fo; do
+    rule=$(sed -n 's/^# expect: *//p' "$f")
+    flags=$(sed -n 's/^# lint: *//p' "$f")
+    if [ -z "$rule" ]; then
+        echo "FAIL (no '# expect:' header): $f" >&2
+        fail=1
+        continue
+    fi
+    if out=$("$bin" lint $flags "$f" 2>&1); then
+        echo "FAIL (expected non-zero exit for $rule): $f" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    elif echo "$out" | grep -q "$rule"; then
+        echo "ok ($rule): $f"
+    else
+        echo "FAIL (diagnostics do not name $rule): $f" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+
+exit $fail

@@ -16,6 +16,7 @@ let () =
       ("local", Test_local.suite);
       ("toolkit", Test_toolkit.suite);
       ("relational", Test_relational.suite);
+      ("analysis", Test_analysis.suite);
       ("mso", Test_mso.suite);
       ("trees", Test_trees.suite);
     ]
