@@ -23,13 +23,58 @@ module Red = Folearn.Reduction
 module S = Splitter.Strategy
 module T = Modelcheck.Types
 
+(* monotonic: wall-clock steps (NTP) must not corrupt timings *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.elapsed_s t0)
 
 let header title = Printf.printf "\n=== %s ===\n" title
 let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: every experiment runs with the obs sink enabled and      *)
+(* emits BENCH_<name>.json — wall time, the headline counters, its     *)
+(* structured table rows, and the full metric snapshot.                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_schema_version = 1
+let bench_rows : Obs.Json.t list ref = ref []
+let add_row kvs = bench_rows := Obs.Json.Obj kvs :: !bench_rows
+
+let jint n = Obs.Json.Int n
+let jfloat x = Obs.Json.Float x
+let jstr s = Obs.Json.String s
+
+let run_instrumented name f =
+  bench_rows := [];
+  Obs.enable ();
+  Obs.reset_all ();
+  let t0 = Obs.Clock.now_ns () in
+  Obs.Span.with_ ("bench." ^ name) f;
+  let wall = Obs.Clock.elapsed_s t0 in
+  let snap = Obs.Metric.snapshot () in
+  Obs.disable ();
+  let doc =
+    Obs.Json.Obj
+      [
+        ("experiment", jstr name);
+        ("schema_version", jint bench_schema_version);
+        ("wall_time_s", jfloat wall);
+        ( "model_check_calls",
+          jint (Obs.Metric.find_counter snap "modelcheck.eval.calls") );
+        ( "hypotheses_enumerated",
+          jint (Obs.Metric.find_counter snap "erm.hypotheses_enumerated") );
+        ("rows", Obs.Json.List (List.rev !bench_rows));
+        ("metrics", Obs.Metric.snapshot_to_json snap);
+      ]
+  in
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "telemetry -> %s\n" file
 
 (* ------------------------------------------------------------------ *)
 (* E1: XP data complexity of direct FO model checking                  *)
@@ -49,6 +94,13 @@ let e1 () =
         (fun (gname, g) ->
           let _, t2 = time (fun () -> Modelcheck.Eval.sentence g phi2) in
           let _, t3 = time (fun () -> Modelcheck.Eval.sentence g phi3) in
+          add_row
+            [
+              ("graph", jstr gname);
+              ("n", jint (Graph.order g));
+              ("qr2_s", jfloat t2);
+              ("qr3_s", jfloat t3);
+            ];
           row "%-10s %6d %14.4f %14.4f\n" gname (Graph.order g) t2 t3)
         [
           ("path", Gen.path n);
@@ -121,6 +173,14 @@ let e3 () =
         (fun ell ->
           if ell = 0 || (ell = 1 && n <= 40) || (ell = 2 && n <= 12) then begin
             let r, t = time (fun () -> Brute.solve g ~k:1 ~ell ~q:1 lam) in
+            add_row
+              [
+                ("n", jint n);
+                ("ell", jint ell);
+                ("params_tried", jint r.Brute.params_tried);
+                ("time_s", jfloat t);
+                ("err", jfloat r.Brute.err);
+              ];
             row "%-6s %6d %6d %12d %12.4f %8.3f\n" "tree" n ell
               r.Brute.params_tried t r.Brute.err
           end)
@@ -157,6 +217,14 @@ let e4 () =
       in
       match pre with
       | Some r ->
+          add_row
+            [
+              ("n", jint n);
+              ("mc_calls", jint r.Real.mc_calls);
+              ("prefix_time_s", jfloat t_pre);
+              ("brute_tried", jint brute.Brute.params_tried);
+              ("brute_time_s", jfloat t_brute);
+            ];
           row "%-6s %6d %10d %12.4f | %12d %12.4f\n" "path" n r.Real.mc_calls
             t_pre brute.Brute.params_tried t_brute
       | None -> row "%-6s %6d %10s %12s | (reject)\n" "path" n "-" "-")
@@ -461,6 +529,15 @@ let e11 () =
                 (snd (time (fun () -> Brute.solve g ~k:1 ~ell:1 ~q:1 lam)))
             else "(skip)"
           in
+          add_row
+            [
+              ("class", jstr cname);
+              ("n", jint n);
+              ("touched", jint local.Folearn.Erm_local.vertices_touched);
+              ("pool", jint local.Folearn.Erm_local.pool_size);
+              ("local_time_s", jfloat t_local);
+              ("err", jfloat local.Folearn.Erm_local.err);
+            ];
           row "%-8s %8d %6d | %9d %9d %10.4f %9.3f | %12s\n" cname n m
             local.Folearn.Erm_local.vertices_touched
             local.Folearn.Erm_local.pool_size t_local
@@ -666,6 +743,14 @@ let e14 () =
                 ignore (Folearn.Erm_local.solve ~radius:1 g ~k:1 ~ell:0 ~q:1 lam))
               tasks)
       in
+      add_row
+        [
+          ("n", jint n);
+          ("build_s", jfloat t_build);
+          ("per_task_ms", jfloat (t_tasks *. 1e3 /. 20.0));
+          ("no_index_ms", jfloat (t_noindex *. 1e3 /. 20.0));
+          ("classes", jint (Folearn.Preindex.class_count idx));
+        ];
       row "%-8s %8d %8d | %12.3f %14.3f | %14.3f\n" "deg3" n 20 t_build
         (t_tasks *. 1e3 /. 20.0)
         (t_noindex *. 1e3 /. 20.0))
@@ -732,8 +817,104 @@ let micro () =
         else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
         else Printf.sprintf "%.0f ns" t
       in
+      add_row [ ("operation", jstr name); ("ns_per_run", jfloat t) ];
       row "%-28s %16s\n" name pretty)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* overhead: instrumentation must be ~free when the sink is disabled   *)
+(* ------------------------------------------------------------------ *)
+
+(* Uninstrumented clone of Modelcheck.Eval's recursive evaluator.  It
+   exists only as the baseline of the disabled-overhead check below;
+   keep it in sync with lib/modelcheck/eval.ml. *)
+module Plain_eval = struct
+  module VMap = Map.Make (String)
+
+  let lookup env x =
+    match VMap.find_opt x env with Some v -> v | None -> raise Not_found
+
+  let rec eval g env (f : Fo.Formula.t) =
+    match f with
+    | True -> true
+    | False -> false
+    | Atom (Eq (x, y)) -> lookup env x = lookup env y
+    | Atom (Edge (x, y)) -> Graph.mem_edge g (lookup env x) (lookup env y)
+    | Atom (Color (c, x)) -> Graph.has_color g c (lookup env x)
+    | Not f -> not (eval g env f)
+    | And fs -> List.for_all (eval g env) fs
+    | Or fs -> List.exists (eval g env) fs
+    | Implies (a, b) -> (not (eval g env a)) || eval g env b
+    | Iff (a, b) -> eval g env a = eval g env b
+    | Exists (x, body) ->
+        let n = Graph.order g in
+        let rec try_from v =
+          v < n && (eval g (VMap.add x v env) body || try_from (v + 1))
+        in
+        try_from 0
+    | Forall (x, body) ->
+        let n = Graph.order g in
+        let rec all_from v =
+          v >= n || (eval g (VMap.add x v env) body && all_from (v + 1))
+        in
+        all_from 0
+    | CountGe (t, x, body) ->
+        let n = Graph.order g in
+        let rec count_from v found =
+          found >= t
+          || (v < n
+             && count_from (v + 1)
+                  (if eval g (VMap.add x v env) body then found + 1 else found))
+        in
+        count_from 0 0
+
+  let sentence g f = eval g VMap.empty f
+end
+
+let overhead () =
+  header "overhead  disabled instrumentation vs uninstrumented Eval clone";
+  let g = Gen.grid 16 16 in
+  let phi = Fo.Parser.parse "forall x. exists y. E(x, y)" in
+  let reps = 30 in
+  let samples = 11 in
+  let once f =
+    snd
+      (time (fun () ->
+           for _ = 1 to reps do
+             ignore (f ())
+           done))
+  in
+  (* the driver enables the sink around every experiment; this one
+     measures the DISABLED cost, so switch it off for the duration *)
+  let was_enabled = Obs.enabled () in
+  Obs.disable ();
+  let f_inst () = Modelcheck.Eval.sentence g phi in
+  let f_plain () = Plain_eval.sentence g phi in
+  ignore (once f_inst);
+  ignore (once f_plain);
+  (* interleaved min-of-samples: the minimum is the run least disturbed
+     by scheduling noise, and interleaving keeps thermal/frequency drift
+     from biasing one side *)
+  let t_inst = ref infinity and t_plain = ref infinity in
+  for _ = 1 to samples do
+    t_inst := Float.min !t_inst (once f_inst);
+    t_plain := Float.min !t_plain (once f_plain)
+  done;
+  let t_inst = !t_inst and t_plain = !t_plain in
+  if was_enabled then Obs.enable ();
+  let ratio = t_inst /. t_plain in
+  add_row
+    [
+      ("instrumented_disabled_s", jfloat t_inst);
+      ("uninstrumented_s", jfloat t_plain);
+      ("ratio", jfloat ratio);
+    ];
+  row "%-28s %12.6f s\n" "instrumented (sink off)" t_inst;
+  row "%-28s %12.6f s\n" "uninstrumented clone" t_plain;
+  row "%-28s %12.3f  (acceptance: < 1.05)\n" "ratio" ratio;
+  row
+    "shape check: with the sink disabled each instrumentation point is one \
+     atomic load + branch, invisible next to the evaluator's own work.\n"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -744,6 +925,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("micro", micro);
+    ("overhead", overhead);
   ]
 
 let () =
@@ -752,14 +934,14 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> run_instrumented name f
       | None ->
           Printf.eprintf "unknown experiment %S (known: %s)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 2)
     requested;
-  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench time: %.1f s\n" (Obs.Clock.elapsed_s t0)

@@ -107,6 +107,59 @@ let colors_arg =
 
 let with_cli_colors g colors = Graph.with_colors g colors
 
+(* observability: --trace / --stats / --stats-json on the compute-heavy
+   subcommands.  The sink stays disabled unless one of them is given, so
+   the default path keeps its uninstrumented cost. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and write a Chrome trace-event file, loadable in \
+           chrome://tracing or ui.perfetto.dev.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the metrics snapshot after the run.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics snapshot as JSON (pretty-print it back with \
+           $(b,folearn stats)).")
+
+let with_obs ~trace ~stats ~stats_json f =
+  if trace = None && (not stats) && stats_json = None then f ()
+  else begin
+    Obs.enable ();
+    Obs.reset_all ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        (match trace with
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc
+                  (Obs.Json.to_string (Obs.Span.chrome_trace ())))
+        | None -> ());
+        (match stats_json with
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc
+                  (Obs.Json.to_string
+                     (Obs.Metric.snapshot_to_json (Obs.Metric.snapshot ()))))
+        | None -> ());
+        if stats then
+          Format.printf "%a" Obs.Metric.pp_snapshot (Obs.Metric.snapshot ()))
+      f
+  end
+
 (* ------------------------------------------------------------------ *)
 (* learn                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -160,7 +213,9 @@ let learn_cmd =
           ~doc:"Sample size (0 = label every tuple of the graph).")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run g colors target k ell q solver tmax noise m seed =
+  let run g colors target k ell q solver tmax noise m seed trace stats
+      stats_json =
+    with_obs ~trace ~stats ~stats_json @@ fun () ->
     let g = with_cli_colors g colors in
     let module Sam = Folearn.Sample in
     let xvars = Folearn.Hypothesis.xvars k in
@@ -234,7 +289,8 @@ let learn_cmd =
   let term =
     Term.(
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
-      $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg)
+      $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ trace_arg
+      $ stats_arg $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
@@ -257,7 +313,8 @@ let mc_cmd =
       & info [ "via-erm" ]
           ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
   in
-  let run g colors phi via_erm =
+  let run g colors phi via_erm trace stats stats_json =
+    with_obs ~trace ~stats ~stats_json @@ fun () ->
     let g = with_cli_colors g colors in
     if via_erm then begin
       let verdict, stats =
@@ -278,7 +335,9 @@ let mc_cmd =
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"First-order model checking (direct or via Theorem 1).")
-    Term.(const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg)
+    Term.(
+      const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg
+      $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* types                                                               *)
@@ -292,7 +351,8 @@ let types_cmd =
       value & flag
       & info [ "hintikka" ] ~doc:"Also print one Hintikka formula per class.")
   in
-  let run g colors q k hintikka =
+  let run g colors q k hintikka trace stats stats_json =
+    with_obs ~trace ~stats ~stats_json @@ fun () ->
     let g = with_cli_colors g colors in
     let ctx = Modelcheck.Types.make_ctx g in
     let classes =
@@ -314,7 +374,9 @@ let types_cmd =
   in
   Cmd.v
     (Cmd.info "types" ~doc:"Print the q-type partition of the graph.")
-    Term.(const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg)
+    Term.(
+      const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg
+      $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game                                                                *)
@@ -322,7 +384,8 @@ let types_cmd =
 
 let game_cmd =
   let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~doc:"Game radius.") in
-  let run g colors r =
+  let run g colors r trace stats stats_json =
+    with_obs ~trace ~stats ~stats_json @@ fun () ->
     let g = with_cli_colors g colors in
     let tr =
       Splitter.Game.trace g ~r
@@ -342,7 +405,9 @@ let game_cmd =
   in
   Cmd.v
     (Cmd.info "game" ~doc:"Play out the (r, s)-splitter game.")
-    Term.(const run $ graph_arg $ colors_arg $ r_arg)
+    Term.(
+      const run $ graph_arg $ colors_arg $ r_arg $ trace_arg $ stats_arg
+      $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -714,6 +779,15 @@ let lint_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Treat warnings as failures too.")
   in
+  let cost_arg =
+    Arg.(
+      value & flag
+      & info [ "cost" ]
+          ~doc:
+            "Emit the informational $(b,cost-metadata) hint for every FO \
+             formula: quantifier rank, locality radius and Hintikka-table \
+             bound, as a JSON message.")
+  in
   let list_rules_arg =
     Arg.(
       value & flag
@@ -721,7 +795,7 @@ let lint_cmd =
           ~doc:"Print every rule id, its severity and description, then exit.")
   in
   let run files formulas lang vocab alphabet free q max_free radius format
-      strict list_rules =
+      strict list_rules cost =
     let open Analysis in
     if list_rules then begin
       List.iter
@@ -780,10 +854,14 @@ let lint_cmd =
         | `Fo -> (
             match Fo.Parser.parse (String.trim src) with
             | f ->
-                Fo_check.check ?vocab ?allowed_free
-                  ~budget:
-                    (Fo_check.budget ?max_rank:q ?max_free ?radius ())
-                  f
+                let ds =
+                  Fo_check.check ?vocab ?allowed_free
+                    ~budget:
+                      (Fo_check.budget ?max_rank:q ?max_free ?radius ())
+                    f
+                in
+                if cost then ds @ [ Fo_check.cost_diagnostic ?vocab f ]
+                else ds
             | exception Fo.Parser.Parse_error m -> parse_diag m)
         | `Mso -> (
             match Mso.Parser.parse ~letters (String.trim src) with
@@ -844,7 +922,64 @@ let lint_cmd =
     Term.(
       const run $ files_arg $ formulas_arg $ lang_arg $ vocab_arg
       $ alphabet_arg $ free_arg $ q_arg $ max_free_arg $ radius_arg
-      $ format_arg $ strict_arg $ list_rules_arg)
+      $ format_arg $ strict_arg $ list_rules_arg $ cost_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A metrics snapshot (from $(b,--stats-json)) or a benchmark \
+             telemetry file ($(b,BENCH_*.json)).")
+  in
+  let run path =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match Obs.Json.of_string text with
+    | Error m ->
+        Format.eprintf "folearn stats: %s: %s@." path m;
+        2
+    | Ok doc -> (
+        (* BENCH_*.json wraps the snapshot under "metrics" beside the
+           headline numbers; a bare snapshot is the document itself. *)
+        let snap_json =
+          match Obs.Json.member "metrics" doc with
+          | Some m ->
+              let field name conv = Option.bind (Obs.Json.member name doc) conv in
+              (match field "experiment" Obs.Json.to_string_opt with
+              | Some e -> Format.printf "experiment: %s@." e
+              | None -> ());
+              (match field "wall_time_s" Obs.Json.to_float_opt with
+              | Some t -> Format.printf "wall time: %.3f s@." t
+              | None -> ());
+              (match field "model_check_calls" Obs.Json.to_int_opt with
+              | Some n -> Format.printf "model-check calls: %d@." n
+              | None -> ());
+              (match field "hypotheses_enumerated" Obs.Json.to_int_opt with
+              | Some n -> Format.printf "hypotheses enumerated: %d@." n
+              | None -> ());
+              m
+          | None -> doc
+        in
+        match Obs.Metric.snapshot_of_json snap_json with
+        | Ok snap ->
+            Format.printf "%a" Obs.Metric.pp_snapshot snap;
+            0
+        | Error m ->
+            Format.eprintf "folearn stats: %s: %s@." path m;
+            2)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Pretty-print a saved metrics snapshot or a BENCH_*.json \
+          telemetry file.")
+    Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -856,5 +991,5 @@ let () =
        (Cmd.group info
           [
             learn_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd; strings_cmd;
-            trees_cmd; lint_cmd;
+            trees_cmd; lint_cmd; stats_cmd;
           ]))

@@ -55,6 +55,9 @@ let rules =
       doc = "junction lists the same subformula twice" };
     { id = "constant-junct"; default_severity = Hint;
       doc = "conjunction containing false / disjunction containing true" };
+    { id = "cost-metadata"; default_severity = Hint;
+      doc = "informational per-formula cost estimate (rank, locality \
+             radius, Hintikka-table bound) as a JSON message" };
   ]
 
 let default_severity id =

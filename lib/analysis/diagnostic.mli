@@ -70,7 +70,12 @@
        disjunction lists the same subformula twice.}
     {- [constant-junct] (hint) — {e simplification}: a conjunction
        containing [false] (or a disjunction containing [true]) — the
-       whole junction is constant.}} *)
+       whole junction is constant.}
+    {- [cost-metadata] (hint) — {e informational}: per-formula cost
+       estimates (quantifier rank, syntactic or Gaifman locality radius,
+       a log2 bound on the rank-q Hintikka type table) encoded as a JSON
+       object in the message.  Emitted only on request
+       ([lint --cost] / {!Fo_check.cost_diagnostic}); never a failure.}} *)
 
 type severity = Error | Warning | Hint
 

@@ -499,3 +499,87 @@ let check ?vocab ?allowed_free ?(budget = no_budget) f =
         locality_pass ~radius:r ~around f
   in
   Diagnostic.sort (sig_ds @ scope_ds @ rank_ds @ free_ds @ local_ds @ hints_pass f)
+
+(* ------------------------------------------------------------------ *)
+(* Cost metadata (informational)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cost = {
+  rank : int;
+  free_count : int;
+  size : int;
+  locality_radius : int option;
+  hintikka_log2 : float;
+}
+
+let colour_names f =
+  let acc = ref VSet.empty in
+  let rec go (f : Formula.t) =
+    match f with
+    | True | False -> ()
+    | Atom (Color (c, _)) -> acc := VSet.add c !acc
+    | Atom _ -> ()
+    | Not f -> go f
+    | And fs | Or fs -> List.iter go fs
+    | Implies (a, b) | Iff (a, b) -> go a; go b
+    | Exists (_, f) | Forall (_, f) | CountGe (_, _, f) -> go f
+  in
+  go f;
+  VSet.elements !acc
+
+(* log2 of the rank-q type-table bound T(q, k): a rank-q type is an
+   atomic signature over k variables together with a set of rank-(q-1)
+   types over k+1 variables, so
+     log2 T(0, k) = atoms(k)
+     log2 T(q, k) = atoms(k) + T(q-1, k+1)
+   with atoms(k) = k(k-1) + k*c (eq + edge per ordered pair, colour per
+   variable).  The tower explodes immediately; saturate to [infinity]
+   once an exponent leaves the float-representable range. *)
+let hintikka_log2 ~colors ~q ~k =
+  let atoms k = float_of_int ((k * (k - 1)) + (k * colors)) in
+  let rec log2_t q k =
+    if q <= 0 then atoms k
+    else
+      let sub = log2_t (q - 1) (k + 1) in
+      if sub > 62.0 then infinity else atoms k +. Float.exp2 sub
+  in
+  log2_t q k
+
+let cost ?vocab phi =
+  let rank = Formula.quantifier_rank phi in
+  let free = Formula.free_vars phi in
+  let colors =
+    match vocab with
+    | Some v -> List.length (List.filter (fun n -> Vocab.arity v n = Some 1) (Vocab.names v))
+    | None -> List.length (colour_names phi)
+  in
+  let locality_radius =
+    match inferred_radius ~around:free phi with
+    | Some r -> Some r
+    | None -> ( try Some (Gaifman.radius rank) with Invalid_argument _ -> None)
+  in
+  {
+    rank;
+    free_count = List.length free;
+    size = Formula.size phi;
+    locality_radius;
+    hintikka_log2 = hintikka_log2 ~colors ~q:rank ~k:(max 1 (List.length free));
+  }
+
+let cost_json c =
+  Obs.Json.Obj
+    [
+      ("quantifier_rank", Obs.Json.Int c.rank);
+      ("free_variables", Obs.Json.Int c.free_count);
+      ("size", Obs.Json.Int c.size);
+      ( "locality_radius",
+        match c.locality_radius with
+        | Some r -> Obs.Json.Int r
+        | None -> Obs.Json.Null );
+      (* non-finite floats serialise as null = "beyond any table" *)
+      ("hintikka_log2", Obs.Json.Float c.hintikka_log2);
+    ]
+
+let cost_diagnostic ?vocab phi =
+  Diagnostic.make ~rule:"cost-metadata"
+    (Obs.Json.to_string (cost_json (cost ?vocab phi)))

@@ -39,3 +39,32 @@ val as_dist_le : Fo.Formula.t -> (Fo.Formula.var * Fo.Formula.var * int) option
 (** Recognise the recursive-doubling distance formulas of
     {!Fo.Localize.dist_le}: [as_dist_le (dist_le ~d x y) = Some (x, y, d)].
     Exposed for the property tests. *)
+
+(** {1 Cost metadata}
+
+    Informational per-formula cost estimates, reusing the obs JSON
+    types so [lint --format json --cost] diagnostics stay
+    machine-readable. *)
+
+type cost = {
+  rank : int;  (** quantifier rank *)
+  free_count : int;  (** number of free variables *)
+  size : int;  (** AST size, {!Fo.Formula.size} *)
+  locality_radius : int option;
+      (** syntactic radius when every quantifier is guarded
+          ({!inferred_radius}), else the Gaifman bound [(7^q - 1)/2];
+          [None] when even that overflows ([q > 21]) *)
+  hintikka_log2 : float;
+      (** log2 upper bound on the rank-[q] Hintikka type table for this
+          formula's interface; [infinity] once the tower of exponents
+          saturates *)
+}
+
+val cost : ?vocab:Vocab.t -> Fo.Formula.t -> cost
+(** Colour count comes from [vocab] when given, else from the colour
+    atoms appearing in the formula. *)
+
+val cost_json : cost -> Obs.Json.t
+
+val cost_diagnostic : ?vocab:Vocab.t -> Fo.Formula.t -> Diagnostic.t
+(** A [cost-metadata] hint whose message is {!cost_json} serialised. *)

@@ -1,6 +1,28 @@
 let infinity = max_int / 4
 
+(* observability handles; every record is a no-op while the sink is off *)
+let bfs_calls = Obs.Metric.counter "cgraph.bfs.calls"
+let frontier_h = Obs.Metric.histogram "cgraph.bfs.frontier_size"
+let ball_h = Obs.Metric.histogram "cgraph.bfs.ball_size"
+
+(* frontier sizes = vertices per BFS level; derived from the distance
+   array afterwards so the traversal itself stays untouched *)
+let record_frontiers dist =
+  if Obs.Sink.enabled () then begin
+    let levels = Hashtbl.create 16 in
+    Array.iter
+      (fun d ->
+        if d < infinity then
+          Hashtbl.replace levels d
+            (1 + Option.value ~default:0 (Hashtbl.find_opt levels d)))
+      dist;
+    Hashtbl.iter
+      (fun _ c -> Obs.Metric.observe frontier_h (float_of_int c))
+      levels
+  end
+
 let distances_multi g srcs =
+  Obs.Metric.incr bfs_calls;
   let n = Graph.order g in
   let dist = Array.make n infinity in
   let queue = Queue.create () in
@@ -22,6 +44,7 @@ let distances_multi g srcs =
         end)
       (Graph.neighbors g u)
   done;
+  record_frontiers dist;
   dist
 
 let distances g src = distances_multi g [ src ]
@@ -30,6 +53,7 @@ let dist g u v =
   (* early-exit BFS from the lower-degree endpoint *)
   if u = v then 0
   else begin
+    Obs.Metric.incr bfs_calls;
     let n = Graph.order g in
     let dist_arr = Array.make n infinity in
     let queue = Queue.create () in
@@ -69,6 +93,8 @@ let ball g ~r srcs =
   for v = Graph.order g - 1 downto 0 do
     if d.(v) <= r then acc := v :: !acc
   done;
+  if Obs.Sink.enabled () then
+    Obs.Metric.observe ball_h (float_of_int (List.length !acc));
   !acc
 
 let ball_tuple g ~r t = ball g ~r (Array.to_list t)
@@ -80,6 +106,7 @@ let eccentricity g v =
 let within g ~r u v =
   if u = v then r >= 0
   else begin
+    Obs.Metric.incr bfs_calls;
     let n = Graph.order g in
     let dist_arr = Array.make n infinity in
     let queue = Queue.create () in

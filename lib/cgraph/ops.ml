@@ -1,3 +1,7 @@
+let induced_calls = Obs.Metric.counter "cgraph.ops.induced_calls"
+let induced_h = Obs.Metric.histogram "cgraph.ops.induced_size"
+let neighborhood_calls = Obs.Metric.counter "cgraph.ops.neighborhood_calls"
+
 type embedding = {
   graph : Graph.t;
   to_sub : Graph.vertex -> Graph.vertex option;
@@ -5,12 +9,14 @@ type embedding = {
 }
 
 let induced g s =
+  Obs.Metric.incr induced_calls;
   let s = List.sort_uniq compare s in
   List.iter
     (fun v -> if v < 0 || v >= Graph.order g then raise (Graph.Invalid_vertex v))
     s;
   let old_of_new = Array.of_list s in
   let m = Array.length old_of_new in
+  if Obs.Sink.enabled () then Obs.Metric.observe induced_h (float_of_int m);
   let new_of_old = Hashtbl.create (2 * m) in
   Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
   let edges =
@@ -38,7 +44,9 @@ let induced g s =
     of_sub = (fun i -> old_of_new.(i));
   }
 
-let neighborhood g ~r t = induced g (Bfs.ball_tuple g ~r t)
+let neighborhood g ~r t =
+  Obs.Metric.incr neighborhood_calls;
+  induced g (Bfs.ball_tuple g ~r t)
 
 let disjoint_union gs =
   let offsets = Array.make (List.length gs) 0 in

@@ -7,6 +7,11 @@ type result = {
   params_tried : int;
 }
 
+(* shared across the four solvers: one increment per candidate
+   hypothesis considered (parameter tuple / catalogue formula / leaf) *)
+let hypotheses_enumerated = Obs.Metric.counter "erm.hypotheses_enumerated"
+let consistency_checks = Obs.Metric.counter "erm.consistency_checks"
+
 let check_arity ~k lam =
   Analysis.Guard.require ~what:"Erm_brute"
     (Analysis.Guard.sample_arity ~k (List.map fst lam))
@@ -48,6 +53,11 @@ let solve_for_params g ~k ~q ~params lam =
   solve_for_params_ctx (Types.make_ctx g) g ~k ~q ~params lam
 
 let solve g ~k ~ell ~q lam =
+  Obs.Span.with_ "erm_brute.solve"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q) ]
+  @@ fun () ->
   Analysis.Guard.require ~what:"Erm_brute.solve"
     (Analysis.Guard.budgets ~ell ~q ~k ());
   check_arity ~k lam;
@@ -58,6 +68,8 @@ let solve g ~k ~ell ~q lam =
   List.iter
     (fun params ->
       incr tried;
+      Obs.Metric.incr hypotheses_enumerated;
+      Obs.Metric.incr consistency_checks;
       let chosen, errs = majority_types ctx ~q ~params lam in
       match !best with
       | Some (_, _, best_errs) when best_errs <= errs -> ()

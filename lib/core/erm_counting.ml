@@ -7,6 +7,9 @@ type result = {
   params_tried : int;
 }
 
+let hypotheses_enumerated = Obs.Metric.counter "erm.hypotheses_enumerated"
+let consistency_checks = Obs.Metric.counter "erm.consistency_checks"
+
 let check_arity ~k lam =
   Analysis.Guard.require ~what:"Erm_counting"
     (Analysis.Guard.sample_arity ~k (List.map fst lam))
@@ -32,6 +35,11 @@ let majority ctx ~q ~tmax ~params lam =
     votes ([], 0)
 
 let solve g ~k ~ell ~q ~tmax lam =
+  Obs.Span.with_ "erm_counting.solve"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q); ("tmax", string_of_int tmax) ]
+  @@ fun () ->
   Analysis.Guard.require ~what:"Erm_counting.solve"
     (Analysis.Guard.budgets ~ell ~q ~tmax ~k ());
   check_arity ~k lam;
@@ -41,6 +49,8 @@ let solve g ~k ~ell ~q ~tmax lam =
   List.iter
     (fun params ->
       incr tried;
+      Obs.Metric.incr hypotheses_enumerated;
+      Obs.Metric.incr consistency_checks;
       let chosen, errs = majority ctx ~q ~tmax ~params lam in
       match !best with
       | Some (_, _, best_errs) when best_errs <= errs -> ()

@@ -9,6 +9,10 @@ type result = {
   vertices_touched : int;
 }
 
+let hypotheses_enumerated = Obs.Metric.counter "erm.hypotheses_enumerated"
+let consistency_checks = Obs.Metric.counter "erm.consistency_checks"
+let pool_size_h = Obs.Metric.histogram "erm_local.pool_size"
+
 let majority ctx ~q ~r ~params lam =
   let votes : (Types.ty, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -38,6 +42,11 @@ let rec tuples_over pool j =
       (tuples_over pool (j - 1))
 
 let solve ?radius g ~k ~ell ~q lam =
+  Obs.Span.with_ "erm_local.solve"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q) ]
+  @@ fun () ->
   Analysis.Guard.require ~what:"Erm_local.solve"
     (Analysis.Guard.budgets ~ell ~q ?radius ~k ()
     @ Analysis.Guard.sample_arity ~k (List.map fst lam));
@@ -48,6 +57,8 @@ let solve ?radius g ~k ~ell ~q lam =
   in
   (* candidate parameter pool: the (2r+1)-neighbourhood of the examples *)
   let pool = Bfs.ball g ~r:((2 * r) + 1) entries in
+  if Obs.Sink.enabled () then
+    Obs.Metric.observe pool_size_h (float_of_int (List.length pool));
   (* everything the algorithm can touch: pool plus the radius-r balls
      used by the local-type computations *)
   let touched = Bfs.ball g ~r:((3 * r) + 2) entries in
@@ -58,6 +69,8 @@ let solve ?radius g ~k ~ell ~q lam =
     List.iter
       (fun params_list ->
         incr tried;
+        Obs.Metric.incr hypotheses_enumerated;
+        Obs.Metric.incr consistency_checks;
         let params = Array.of_list params_list in
         let chosen, errs = majority ctx ~q ~r ~params lam in
         match !best with

@@ -5,6 +5,10 @@ let log_src = Logs.Src.create "folearn.erm_nd" ~doc:"Theorem 13 learner"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let hypotheses_enumerated = Obs.Metric.counter "erm.hypotheses_enumerated"
+let consistency_checks = Obs.Metric.counter "erm.consistency_checks"
+let rounds_h = Obs.Metric.histogram "erm_nd.round_arena_order"
+
 type config = {
   k : int;
   ell_star : int;
@@ -241,6 +245,11 @@ let rec subsets_up_to cap = function
 (* ------------------------------------------------------------------ *)
 
 let solve cfg g lam =
+  Obs.Span.with_ "erm_nd.solve"
+    ~args:
+      [ ("k", string_of_int cfg.k); ("ell", string_of_int cfg.ell_star);
+        ("q", string_of_int cfg.q_star) ]
+  @@ fun () ->
   if cfg.epsilon <= 0.0 then invalid_arg "Erm_nd.solve: epsilon must be > 0";
   Analysis.Guard.require ~what:"Erm_nd.solve"
     (Analysis.Guard.budgets ~ell:cfg.ell_star ~q:cfg.q_star ?tmax:cfg.counting
@@ -279,6 +288,8 @@ let solve cfg g lam =
   let best = ref None in
   let consider_leaf answers_rev rounds_rev =
     incr branches;
+    Obs.Metric.incr hypotheses_enumerated;
+    Obs.Metric.incr consistency_checks;
     let params =
       Array.of_list (List.concat (List.rev answers_rev))
     in
@@ -377,6 +388,8 @@ let solve cfg g lam =
      Splitter answers, Lemma 16 projection. *)
   and step stage ~round ~y ~critical ~crit_count:_ ~n_conflicts =
     let sg = stage.sgraph in
+    if Obs.Sink.enabled () then
+      Obs.Metric.observe rounds_h (float_of_int (Graph.order sg));
     let cover = Cgraph.Vitali.cover sg ~r:base y in
     let z = cover.Cgraph.Vitali.centers in
     let r' = cover.Cgraph.Vitali.radius in

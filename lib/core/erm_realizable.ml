@@ -11,6 +11,10 @@ let pos_color = "_Ppos"
 let neg_color = "_Pneg"
 
 let mc_calls_counter = ref 0
+let hypotheses_enumerated = Obs.Metric.counter "erm.hypotheses_enumerated"
+let consistency_checks = Obs.Metric.counter "erm.consistency_checks"
+let early_exits = Obs.Metric.counter "erm.early_exits"
+let mc_calls_metric = Obs.Metric.counter "erm_realizable.mc_calls"
 
 (* phi_i(x, y_{i+1}..y_l) = exists y_1..y_i. (/\_{j<=i} S_j(y_j)) /\ phi *)
 let phi_i ~i phi =
@@ -72,6 +76,7 @@ let consistent_extension g ~ell phi lam =
               ~candidate:(Some u) lam
           in
           incr mc_calls_counter;
+          Obs.Metric.incr mc_calls_metric;
           if Modelcheck.Eval.sentence g' (certificate ~ell ~i phi) then Some u
           else try_vertex (u + 1)
         end
@@ -84,18 +89,24 @@ let consistent_extension g ~ell phi lam =
   if ell = 0 then begin
     let g' = expanded g ~prefix:[] ~candidate_index:0 ~candidate:None lam in
     incr mc_calls_counter;
+    Obs.Metric.incr mc_calls_metric;
     if Modelcheck.Eval.sentence g' (certificate ~ell:0 ~i:0 phi) then Some [||]
     else None
   end
   else fix_prefix 1 []
 
 let solve g ~ell ~catalogue lam =
+  Obs.Span.with_ "erm_realizable.solve" ~args:[ ("ell", string_of_int ell) ]
+  @@ fun () ->
   mc_calls_counter := 0;
   let rec go tried = function
     | [] -> None
     | phi :: rest -> (
+        Obs.Metric.incr hypotheses_enumerated;
+        Obs.Metric.incr consistency_checks;
         match consistent_extension g ~ell phi lam with
         | Some params ->
+            if rest <> [] then Obs.Metric.incr early_exits;
             (* catalogue formulas use "x"; hypotheses use "x1" *)
             let formula = Fo.Formula.substitute [ ("x", "x1") ] phi in
             Some

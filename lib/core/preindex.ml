@@ -10,7 +10,14 @@ type t = {
   classes : int;
 }
 
+let classes_gauge = Obs.Metric.gauge "preindex.classes"
+let build_calls = Obs.Metric.counter "preindex.builds"
+
 let build g ~q ~r =
+  Obs.Span.with_ "preindex.build"
+    ~args:[ ("q", string_of_int q); ("r", string_of_int r) ]
+  @@ fun () ->
+  Obs.Metric.incr build_calls;
   let ctx = Types.make_ctx g in
   let n = Graph.order g in
   let ids : (Types.ty, int) Hashtbl.t = Hashtbl.create 32 in
@@ -26,6 +33,7 @@ let build g ~q ~r =
             tys := ty :: !tys;
             c)
   in
+  Obs.Metric.set classes_gauge (float_of_int (Hashtbl.length ids));
   {
     g;
     q;

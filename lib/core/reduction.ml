@@ -2,6 +2,9 @@ open Cgraph
 
 type oracle = Graph.t -> Sample.t -> ell:int -> q:int -> eps:float -> Hypothesis.t
 
+let oracle_calls_metric = Obs.Metric.counter "reduction.oracle_calls"
+let nodes_metric = Obs.Metric.counter "reduction.recursion_nodes"
+
 let exact_oracle g lam ~ell ~q ~eps:_ =
   (Erm_brute.solve g ~k:1 ~ell ~q lam).Erm_brute.hypothesis
 
@@ -244,7 +247,11 @@ let model_check ?(general_l = false) ?(oracle_ell = 1) ?locality_radius ~oracle
         t_set
     end
   in
-  let result = decide g phi in
+  let result =
+    Obs.Span.with_ "reduction.model_check" (fun () -> decide g phi)
+  in
+  Obs.Metric.add oracle_calls_metric !oracle_calls;
+  Obs.Metric.add nodes_metric !nodes;
   ( result,
     {
       oracle_calls = !oracle_calls;

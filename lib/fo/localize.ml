@@ -1,9 +1,19 @@
 let dist_le ~d x y =
   if d < 0 then invalid_arg "Localize.dist_le: negative distance";
+  (* A generated [_dN] name must not collide with either endpoint: with
+     x = "_d1" the naive scheme would bind the endpoint variable. *)
+  let used = Hashtbl.create 8 in
+  Hashtbl.replace used x ();
+  Hashtbl.replace used y ();
   let counter = ref 0 in
-  let fresh () =
+  let rec fresh () =
     incr counter;
-    Printf.sprintf "_d%d" !counter
+    let cand = Printf.sprintf "_d%d" !counter in
+    if Hashtbl.mem used cand then fresh ()
+    else begin
+      Hashtbl.replace used cand ();
+      cand
+    end
   in
   let rec go d x y =
     if d = 0 then Formula.eq x y

@@ -19,10 +19,21 @@ let rec prefix_length = function
 type quant = Ex of Formula.var | All of Formula.var
 
 let to_prenex phi =
+  (* Fresh names are derived from the set of variables already appearing
+     in [phi] (free or bound): a generated [_pN] that collides with an
+     existing variable would capture it.  Skipping taken names keeps the
+     output both correct and deterministic across repeated runs. *)
+  let used = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace used v ()) (Formula.all_vars phi);
   let counter = ref 0 in
-  let fresh () =
+  let rec fresh () =
     incr counter;
-    Printf.sprintf "_p%d" !counter
+    let cand = Printf.sprintf "_p%d" !counter in
+    if Hashtbl.mem used cand then fresh ()
+    else begin
+      Hashtbl.replace used cand ();
+      cand
+    end
   in
   (* input in NNF: atoms, negated atoms, and/or, quantifiers *)
   let rec pull (f : Formula.t) : quant list * Formula.t =

@@ -6,6 +6,14 @@ exception Unbound_variable of Fo.Formula.var
 
 module VMap = Map.Make (String)
 
+(* "calls" counts top-level evaluations (one per tuple checked);
+   "quantifier_nodes" counts quantifier visits inside the recursion.
+   Boolean/atom nodes are deliberately NOT counted: they are a handful
+   of machine instructions each, and even a branch-on-atomic there shows
+   up in the disabled-overhead budget. *)
+let eval_calls = Obs.Metric.counter "modelcheck.eval.calls"
+let quantifier_nodes = Obs.Metric.counter "modelcheck.eval.quantifier_nodes"
+
 let lookup env x =
   match VMap.find_opt x env with
   | Some v -> v
@@ -24,18 +32,21 @@ let rec eval g env (f : Fo.Formula.t) =
   | Implies (a, b) -> (not (eval g env a)) || eval g env b
   | Iff (a, b) -> eval g env a = eval g env b
   | Exists (x, body) ->
+      Obs.Metric.incr quantifier_nodes;
       let n = Graph.order g in
       let rec try_from v =
         v < n && (eval g (VMap.add x v env) body || try_from (v + 1))
       in
       try_from 0
   | Forall (x, body) ->
+      Obs.Metric.incr quantifier_nodes;
       let n = Graph.order g in
       let rec all_from v =
         v >= n || (eval g (VMap.add x v env) body && all_from (v + 1))
       in
       all_from 0
   | CountGe (t, x, body) ->
+      Obs.Metric.incr quantifier_nodes;
       let n = Graph.order g in
       let rec count_from v found =
         found >= t
@@ -46,6 +57,7 @@ let rec eval g env (f : Fo.Formula.t) =
       count_from 0 0
 
 let holds g env f =
+  Obs.Metric.incr eval_calls;
   let env = List.fold_left (fun m (x, v) -> VMap.add x v m) VMap.empty env in
   eval g env f
 
@@ -71,6 +83,7 @@ let count_answers g ~vars f =
   let count = ref 0 in
   let rec go i env =
     if i = k then begin
+      Obs.Metric.incr eval_calls;
       if eval g env f then incr count
     end
     else

@@ -1,5 +1,7 @@
 let variables k = List.init k (fun i -> Printf.sprintf "x%d" (i + 1))
 
+let formulas_built = Obs.Metric.counter "modelcheck.hintikka.formulas_built"
+
 let atomic_formula ~colors (sg : Types.atomsig) vars =
   let var = Array.of_list vars in
   let k = sg.Types.sig_arity in
@@ -32,6 +34,7 @@ let atomic_formula ~colors (sg : Types.atomsig) vars =
   Fo.Formula.and_ (List.rev !conjuncts)
 
 let of_type ~colors theta =
+  Obs.Metric.incr formulas_built;
   let rec go theta vars =
     let sg, children = Types.node theta in
     let atomic = atomic_formula ~colors sg vars in

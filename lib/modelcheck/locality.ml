@@ -7,6 +7,10 @@ type violation = {
 }
 
 let violations g ~q ~r ~k =
+  Obs.Span.with_ "locality.violations"
+    ~args:
+      [ ("q", string_of_int q); ("r", string_of_int r); ("k", string_of_int k) ]
+  @@ fun () ->
   let ctx = Types.make_ctx g in
   let tuples = Graph.Tuple.all ~n:(Graph.order g) ~k in
   let local_classes = Types.partition_by_ltp ctx ~q ~r tuples in

@@ -76,6 +76,12 @@ let atomic_signature g (u : Graph.Tuple.t) =
 (* Contexts and type computation                                       *)
 (* ------------------------------------------------------------------ *)
 
+let tp_hits = Obs.Metric.counter "modelcheck.types.tp_hits"
+let tp_misses = Obs.Metric.counter "modelcheck.types.tp_misses"
+let ltp_hits = Obs.Metric.counter "modelcheck.types.ltp_hits"
+let ltp_misses = Obs.Metric.counter "modelcheck.types.ltp_misses"
+let ltp_radius_h = Obs.Metric.histogram "modelcheck.types.ltp_radius"
+
 type ctx = {
   g : Graph.t;
   tp_memo : (int * Graph.Tuple.t, ty) Hashtbl.t;
@@ -89,8 +95,11 @@ let graph ctx = ctx.g
 let rec tp ctx ~q u =
   if q < 0 then invalid_arg "Types.tp: negative quantifier rank";
   match Hashtbl.find_opt ctx.tp_memo (q, u) with
-  | Some t -> t
+  | Some t ->
+      Obs.Metric.incr tp_hits;
+      t
   | None ->
+      Obs.Metric.incr tp_misses;
       let sg = atomic_signature ctx.g u in
       let t =
         if q = 0 then intern (sg, None) 0
@@ -112,9 +121,13 @@ let tp_graph g ~q u = tp (make_ctx g) ~q u
 
 let ltp ctx ~q ~r u =
   if r < 0 then invalid_arg "Types.ltp: negative radius";
+  if Obs.Sink.enabled () then Obs.Metric.observe ltp_radius_h (float_of_int r);
   match Hashtbl.find_opt ctx.ltp_memo (q, r, u) with
-  | Some t -> t
+  | Some t ->
+      Obs.Metric.incr ltp_hits;
+      t
   | None ->
+      Obs.Metric.incr ltp_misses;
       let emb = Ops.neighborhood ctx.g ~r u in
       let u' =
         Array.map

@@ -1,0 +1,314 @@
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
+
+let nbuckets = 256
+
+type histogram = {
+  h_mutex : Mutex.t;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let counter name =
+  with_lock registry_mutex (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_value = Atomic.make 0 } in
+          Hashtbl.replace counters name c;
+          c)
+
+let gauge name =
+  with_lock registry_mutex (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_value = Atomic.make 0.0 } in
+          Hashtbl.replace gauges name g;
+          g)
+
+let histogram name =
+  with_lock registry_mutex (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_mutex = Mutex.create ();
+              h_buckets = Array.make nbuckets 0;
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = infinity;
+              h_max = neg_infinity;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = if Sink.enabled () then Atomic.incr c.c_value
+
+let add c n =
+  if Sink.enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+
+let set g v = if Sink.enabled () then Atomic.set g.g_value v
+
+(* bucket [i >= 1] covers [2^((i-1)/4), 2^(i/4)); bucket 0 is (-inf, 1) *)
+let bucket_index v =
+  if not (v >= 1.0) then 0
+  else min (nbuckets - 1) (1 + int_of_float (4.0 *. Float.log2 v))
+
+let bucket_representative hs_min hs_max i =
+  let raw =
+    if i = 0 then hs_min
+    else Float.exp2 ((float_of_int i -. 0.5) /. 4.0)
+  in
+  Float.min hs_max (Float.max hs_min raw)
+
+let observe h v =
+  if Sink.enabled () then
+    with_lock h.h_mutex (fun () ->
+        h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
+
+let value c = Atomic.get c.c_value
+let gauge_value g = Atomic.get g.g_value
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let hist_snapshot h =
+  with_lock h.h_mutex (fun () ->
+      let buckets = ref [] in
+      for i = nbuckets - 1 downto 0 do
+        if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+      done;
+      {
+        hs_count = h.h_count;
+        hs_sum = h.h_sum;
+        hs_min = (if h.h_count = 0 then 0.0 else h.h_min);
+        hs_max = (if h.h_count = 0 then 0.0 else h.h_max);
+        hs_buckets = !buckets;
+      })
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  with_lock registry_mutex (fun () ->
+      {
+        counters =
+          Hashtbl.fold (fun n c acc -> (n, value c) :: acc) counters []
+          |> List.sort by_name;
+        gauges =
+          Hashtbl.fold (fun n g acc -> (n, gauge_value g) :: acc) gauges []
+          |> List.sort by_name;
+        histograms =
+          Hashtbl.fold (fun n h acc -> (n, hist_snapshot h) :: acc) histograms []
+          |> List.sort by_name;
+      })
+
+let reset () =
+  with_lock registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0.0) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          with_lock h.h_mutex (fun () ->
+              Array.fill h.h_buckets 0 nbuckets 0;
+              h.h_count <- 0;
+              h.h_sum <- 0.0;
+              h.h_min <- infinity;
+              h.h_max <- neg_infinity))
+        histograms)
+
+let quantile hs p =
+  if hs.hs_count = 0 then 0.0
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let target = max 1 (int_of_float (Float.ceil (p *. float_of_int hs.hs_count))) in
+    let rec walk cum = function
+      | [] -> hs.hs_max
+      | (i, c) :: rest ->
+          if cum + c >= target then bucket_representative hs.hs_min hs.hs_max i
+          else walk (cum + c) rest
+    in
+    walk 0 hs.hs_buckets
+  end
+
+let find_counter snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hist_to_json hs =
+  Json.Obj
+    [
+      ("count", Json.Int hs.hs_count);
+      ("sum", Json.Float hs.hs_sum);
+      ("min", Json.Float hs.hs_min);
+      ("max", Json.Float hs.hs_max);
+      ("p50", Json.Float (quantile hs 0.5));
+      ("p90", Json.Float (quantile hs 0.9));
+      ("p99", Json.Float (quantile hs 0.99));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+             hs.hs_buckets) );
+    ]
+
+let snapshot_to_json snap =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) snap.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, hs) -> (n, hist_to_json hs)) snap.histograms) );
+    ]
+
+let hist_of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Json.member name j with
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "histogram member %S has wrong type" name))
+    | None -> Error (Printf.sprintf "histogram member %S missing" name)
+  in
+  let* count = field "count" Json.to_int_opt in
+  let* sum = field "sum" Json.to_float_opt in
+  let* minv = field "min" Json.to_float_opt in
+  let* maxv = field "max" Json.to_float_opt in
+  let* bucket_list = field "buckets" Json.to_list_opt in
+  let* buckets =
+    List.fold_left
+      (fun acc b ->
+        let* acc = acc in
+        match b with
+        | Json.List [ i; c ] -> (
+            match (Json.to_int_opt i, Json.to_int_opt c) with
+            | Some i, Some c -> Ok ((i, c) :: acc)
+            | _ -> Error "bucket entries must be integer pairs")
+        | _ -> Error "bucket entries must be pairs")
+      (Ok []) bucket_list
+  in
+  Ok
+    {
+      hs_count = count;
+      hs_sum = sum;
+      hs_min = minv;
+      hs_max = maxv;
+      hs_buckets = List.rev buckets;
+    }
+
+let snapshot_of_json j =
+  let ( let* ) = Result.bind in
+  let section name =
+    match Json.member name j with
+    | Some (Json.Obj kvs) -> Ok kvs
+    | Some _ -> Error (Printf.sprintf "section %S must be an object" name)
+    | None -> Error (Printf.sprintf "section %S missing" name)
+  in
+  let* counter_kvs = section "counters" in
+  let* gauge_kvs = section "gauges" in
+  let* hist_kvs = section "histograms" in
+  let* counters =
+    List.fold_left
+      (fun acc (n, v) ->
+        let* acc = acc in
+        match Json.to_int_opt v with
+        | Some i -> Ok ((n, i) :: acc)
+        | None -> Error (Printf.sprintf "counter %S must be an integer" n))
+      (Ok []) counter_kvs
+  in
+  let* gauges =
+    List.fold_left
+      (fun acc (n, v) ->
+        let* acc = acc in
+        match Json.to_float_opt v with
+        | Some f -> Ok ((n, f) :: acc)
+        | None -> Error (Printf.sprintf "gauge %S must be a number" n))
+      (Ok []) gauge_kvs
+  in
+  let* histograms =
+    List.fold_left
+      (fun acc (n, v) ->
+        let* acc = acc in
+        let* hs = hist_of_json v in
+        Ok ((n, hs) :: acc))
+      (Ok []) hist_kvs
+  in
+  Ok
+    {
+      counters = List.rev counters;
+      gauges = List.rev gauges;
+      histograms = List.rev histograms;
+    }
+
+let pp_snapshot ppf snap =
+  if snap.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "  %-44s %12d@." n v)
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "  %-44s %12.3f@." n v)
+      snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    Format.fprintf ppf "histograms:%42s %8s %8s %8s %8s@." "count" "p50" "p90"
+      "p99" "max";
+    List.iter
+      (fun (n, hs) ->
+        Format.fprintf ppf "  %-44s %7d %8.1f %8.1f %8.1f %8.1f@." n hs.hs_count
+          (quantile hs 0.5) (quantile hs 0.9) (quantile hs 0.99) hs.hs_max)
+      snap.histograms
+  end;
+  if snap.counters = [] && snap.gauges = [] && snap.histograms = [] then
+    Format.fprintf ppf "(no metrics recorded)@."

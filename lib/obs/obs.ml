@@ -1,0 +1,13 @@
+module Json = Json
+module Clock = Clock
+module Sink = Sink
+module Metric = Metric
+module Span = Span
+
+let enable = Sink.enable
+let disable = Sink.disable
+let enabled = Sink.enabled
+
+let reset_all () =
+  Metric.reset ();
+  Span.reset ()

@@ -1,0 +1,26 @@
+(** folearn.obs — zero-external-dependency observability.
+
+    The layer has three pieces, all gated on one global switch
+    ({!Sink}): {!Span} timed regions with text / JSON / Chrome-tracing
+    exporters, {!Metric} counters-gauges-histograms with a registry and
+    JSON snapshots, and the {!Json} / {!Clock} substrate they share.
+    When the sink is disabled (the default) every instrumentation point
+    costs a single atomic-load branch, so the library's hot paths stay
+    at their uninstrumented speed — see the [overhead] experiment in
+    [bench/main.ml] for the check. *)
+
+module Json = Json
+module Clock = Clock
+module Sink = Sink
+module Metric = Metric
+module Span = Span
+
+val enable : unit -> unit
+(** Alias of {!Sink.enable}. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset_all : unit -> unit
+(** Zero every metric and drop every collected span.  Registered metric
+    handles stay valid. *)

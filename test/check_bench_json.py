@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Validate the schema of BENCH_*.json telemetry files.
+
+Usage: check_bench_json.py BENCH_e1.json [BENCH_micro.json ...]
+
+Every file must be valid JSON carrying the v1 telemetry schema written
+by bench/main.ml: the headline keys, a row list, and a metrics snapshot
+with the three sections.  Exits non-zero naming the first problem.
+"""
+import json
+import sys
+
+HEADLINE = {
+    "experiment": str,
+    "schema_version": int,
+    "wall_time_s": (int, float),
+    "model_check_calls": int,
+    "hypotheses_enumerated": int,
+    "rows": list,
+    "metrics": dict,
+}
+METRIC_SECTIONS = ("counters", "gauges", "histograms")
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path: str) -> None:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    for key, ty in HEADLINE.items():
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+        if not isinstance(doc[key], ty):
+            fail(f"{path}: key {key!r} has type {type(doc[key]).__name__}")
+    if doc["schema_version"] != 1:
+        fail(f"{path}: unknown schema_version {doc['schema_version']}")
+    if doc["wall_time_s"] < 0:
+        fail(f"{path}: negative wall_time_s")
+    for section in METRIC_SECTIONS:
+        if not isinstance(doc["metrics"].get(section), dict):
+            fail(f"{path}: metrics.{section} missing or not an object")
+    for i, row in enumerate(doc["rows"]):
+        if not isinstance(row, dict):
+            fail(f"{path}: rows[{i}] is not an object")
+    print(f"{path}: ok ({len(doc['rows'])} rows, "
+          f"{len(doc['metrics']['counters'])} counters)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        fail("no files given")
+    for p in sys.argv[1:]:
+        check(p)

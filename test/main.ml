@@ -19,4 +19,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("mso", Test_mso.suite);
       ("trees", Test_trees.suite);
+      ("obs", Test_obs.suite);
     ]
