@@ -50,24 +50,57 @@ let run_instrumented name f =
   bench_rows := [];
   Obs.enable ();
   Obs.reset_all ();
+  (* account resource spend through a capless budget — except for the
+     micro/overhead benchmarks, whose acceptance bar is the cost of the
+     checkpoint fast path with NO budget installed *)
+  let budget =
+    if name = "micro" || name = "overhead" then None
+    else Some (Guard.Budget.unlimited ())
+  in
   let t0 = Obs.Clock.now_ns () in
-  Obs.Span.with_ ("bench." ^ name) f;
+  (* one broken experiment must not cost the others their telemetry *)
+  let error =
+    match
+      Guard.run ?budget
+        ~salvage:(fun () -> None)
+        (fun () -> Obs.Span.with_ ("bench." ^ name) f)
+    with
+    | Guard.Complete () -> None
+    | Guard.Exhausted { reason; checkpoint; _ } ->
+        Some
+          (Printf.sprintf "budget exhausted: %s at %s"
+             (Guard.reason_to_string reason)
+             (Guard.checkpoint_to_string checkpoint))
+    | exception e -> Some (Printexc.to_string e)
+  in
+  (match error with
+  | Some msg -> Printf.eprintf "experiment %s failed: %s\n%!" name msg
+  | None -> ());
   let wall = Obs.Clock.elapsed_s t0 in
   let snap = Obs.Metric.snapshot () in
   Obs.disable ();
   let doc =
     Obs.Json.Obj
-      [
-        ("experiment", jstr name);
-        ("schema_version", jint bench_schema_version);
-        ("wall_time_s", jfloat wall);
-        ( "model_check_calls",
-          jint (Obs.Metric.find_counter snap "modelcheck.eval.calls") );
-        ( "hypotheses_enumerated",
-          jint (Obs.Metric.find_counter snap "erm.hypotheses_enumerated") );
-        ("rows", Obs.Json.List (List.rev !bench_rows));
-        ("metrics", Obs.Metric.snapshot_to_json snap);
-      ]
+      ([
+         ("experiment", jstr name);
+         ("schema_version", jint bench_schema_version);
+         ("wall_time_s", jfloat wall);
+         ( "model_check_calls",
+           jint (Obs.Metric.find_counter snap "modelcheck.eval.calls") );
+         ( "hypotheses_enumerated",
+           jint (Obs.Metric.find_counter snap "erm.hypotheses_enumerated") );
+         ( "budget_spent",
+           match budget with
+           | Some b -> Guard.spent_to_json (Guard.Budget.spent b)
+           | None -> Obs.Json.Null );
+       ]
+      @ (match error with
+        | Some msg -> [ ("error", jstr msg) ]
+        | None -> [])
+      @ [
+          ("rows", Obs.Json.List (List.rev !bench_rows));
+          ("metrics", Obs.Metric.snapshot_to_json snap);
+        ])
   in
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in
@@ -761,6 +794,85 @@ let e14 () =
      preprocessing regime the conclusion asks about, on graphs.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E15: graceful degradation under a shrinking fuel budget             *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header "E15  graceful degradation: fuel ladder at q* = 2 (local -> brute)";
+  let g = Gen.random_tree ~seed:11 20 in
+  let w = 10 in
+  let lam =
+    Sam.label_with g ~target:(fun v -> Bfs.dist g v.(0) w <= 1)
+      (Sam.all_tuples g ~k:1)
+  in
+  row "%10s | %-9s %-8s %5s %8s %7s %10s\n" "fuel" "outcome" "solver" "rank"
+    "err" "stages" "fuel spent";
+  List.iter
+    (fun fuel ->
+      let budget = Option.map (fun f -> Guard.Budget.make ~fuel:f ()) fuel in
+      let outcome = Folearn.Degrade.learn ?budget g ~k:1 ~ell:1 ~q:2 lam in
+      let fuel_str =
+        match fuel with Some f -> string_of_int f | None -> "(none)"
+      in
+      (* stages run on [for_stage] copies, so the parent budget's own
+         counters stay at zero; account the exhausted stages instead *)
+      let attempts_fuel l =
+        List.fold_left
+          (fun acc (a : Folearn.Degrade.attempt) ->
+            acc + a.Folearn.Degrade.spent.Guard.fuel)
+          0 l.Folearn.Degrade.attempts
+      in
+      let spent_fuel =
+        match outcome with
+        | Guard.Complete l -> attempts_fuel l
+        | Guard.Exhausted { spent; _ } -> spent.Guard.fuel
+      in
+      let emit status solver q_used err stages =
+        add_row
+          [
+            ( "fuel",
+              match fuel with Some f -> jint f | None -> Obs.Json.Null );
+            ("status", jstr status);
+            ("solver", jstr solver);
+            ("q_used", jint q_used);
+            ("err", jfloat err);
+            ("stages_exhausted", jint stages);
+            ("fuel_spent", jint spent_fuel);
+          ];
+        row "%10s | %-9s %-8s %5d %8.3f %7d %10d\n" fuel_str status solver
+          q_used err stages spent_fuel
+      in
+      match outcome with
+      | Guard.Complete l ->
+          emit
+            (if l.Folearn.Degrade.degraded then "degraded" else "complete")
+            l.Folearn.Degrade.solver l.Folearn.Degrade.q_used
+            l.Folearn.Degrade.err
+            (List.length l.Folearn.Degrade.attempts)
+      | Guard.Exhausted { best_so_far = Some l; _ } ->
+          emit "salvaged" l.Folearn.Degrade.solver l.Folearn.Degrade.q_used
+            l.Folearn.Degrade.err
+            (List.length l.Folearn.Degrade.attempts)
+      | Guard.Exhausted { best_so_far = None; reason; _ } ->
+          add_row
+            [
+              ( "fuel",
+                match fuel with Some f -> jint f | None -> Obs.Json.Null );
+              ("status", jstr "exhausted");
+              ("reason", jstr (Guard.reason_to_string reason));
+              ("fuel_spent", jint spent_fuel);
+            ];
+          row "%10s | %-9s (%s)\n" fuel_str "exhausted"
+            (Guard.reason_to_string reason))
+    [ None; Some 2_000_000; Some 200_000; Some 20_000; Some 2_000; Some 200;
+      Some 20 ];
+  row
+    "shape check: every rung answers or exits cleanly — no exception ever \
+     escapes; as fuel shrinks the chain falls from the rank-2 local learner \
+     to brute-force ERM at smaller rank (err rises gracefully), and at the \
+     bottom only a best-so-far salvage or a clean exhaustion remains.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -924,8 +1036,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("micro", micro);
-    ("overhead", overhead);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("micro", micro); ("overhead", overhead);
   ]
 
 let () =

@@ -78,17 +78,16 @@ let color_conv =
   let printer ppf (name, _) = Format.fprintf ppf "%s=..." name in
   Arg.conv (parser, printer)
 
-let formula_conv =
-  let parser s =
-    match Fo.Parser.parse_opt s with
-    | Some f -> Ok f
-    | None -> (
-        try
-          ignore (Fo.Parser.parse s);
-          assert false
-        with Fo.Parser.Parse_error m -> Error (`Msg m))
-  in
-  Arg.conv (parser, (fun ppf f -> Fo.Formula.pp ppf f))
+(* Formulas are taken as plain strings and parsed inside the command
+   body: cmdliner reserves its own exit code (124) for [Arg.conv]
+   failures, and a malformed formula must be a usage error (2) with the
+   parser's line/column diagnostics on stderr. *)
+let parse_formula_or_exit ~cmd ~flag s =
+  match Fo.Parser.parse_result s with
+  | Ok f -> f
+  | Error e ->
+      Format.eprintf "folearn %s: %s: %a@." cmd flag Fo.Parser.pp_error e;
+      exit 2
 
 (* common args *)
 
@@ -160,6 +159,63 @@ let with_obs ~trace ~stats ~stats_json f =
       f
   end
 
+(* resource budgets: --fuel / --timeout / --max-table / --max-ball on
+   the compute-heavy subcommands.  With none of them given no budget is
+   installed, so the default path costs one load and one branch per
+   checkpoint.  Exit codes: 0 complete, 2 usage, 3 degraded but
+   answered, 4 exhausted with nothing to show. *)
+
+let exit_degraded = 3
+let exit_exhausted = 4
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Abort after $(docv) checkpoint ticks (solver candidates, type \
+              rows, BFS dequeues, ...).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock deadline for the whole command, in seconds \
+              (fractions allowed).")
+
+let max_table_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-table" ] ~docv:"ROWS"
+        ~doc:"Cap on memoised Hintikka-type table rows.")
+
+let max_ball_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-ball" ] ~docv:"VERTICES"
+        ~doc:"Cap on the size of any neighbourhood ball.")
+
+let budget_of ~fuel ~timeout ~max_table ~max_ball =
+  if fuel = None && timeout = None && max_table = None && max_ball = None then
+    None
+  else
+    Some
+      (Guard.Budget.make ?fuel ?timeout_s:timeout ?max_table ?max_ball ())
+
+let report_exhausted ~cmd ~reason ~checkpoint ~(spent : Guard.spent) =
+  Format.eprintf
+    "folearn %s: budget exhausted: %s at %s (fuel %d, %.3f s, table %d, ball \
+     %d)@."
+    cmd
+    (Guard.reason_to_string reason)
+    (Guard.checkpoint_to_string checkpoint)
+    spent.Guard.fuel
+    (Int64.to_float spent.Guard.elapsed_ns /. 1e9)
+    spent.Guard.table_rows spent.Guard.ball_peak
+
 (* ------------------------------------------------------------------ *)
 (* learn                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -168,7 +224,7 @@ let learn_cmd =
   let target_arg =
     Arg.(
       required
-      & opt (some formula_conv) None
+      & opt (some string) None
       & info [ "t"; "target" ] ~docv:"FORMULA"
           ~doc:
             "Hidden target query over x1..xk (used only to label the \
@@ -213,9 +269,11 @@ let learn_cmd =
           ~doc:"Sample size (0 = label every tuple of the graph).")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run g colors target k ell q solver tmax noise m seed trace stats
-      stats_json =
+  let run g colors target k ell q solver tmax noise m seed fuel timeout
+      max_table max_ball trace stats stats_json =
     with_obs ~trace ~stats ~stats_json @@ fun () ->
+    let target = parse_formula_or_exit ~cmd:"learn" ~flag:"--target" target in
+    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
     let module Sam = Folearn.Sample in
     let xvars = Folearn.Hypothesis.xvars k in
@@ -243,54 +301,122 @@ let learn_cmd =
     Format.printf "training sequence: %d examples (%d positive)@."
       (Sam.size lam)
       (List.length (Sam.positives lam));
-    (match solver with
+    (* one outcome handler for every solver: 0 on a complete run, 3
+       when only a best-so-far hypothesis (with its true empirical
+       error, but no min-error certificate) survived, 4 when nothing
+       did *)
+    let conclude outcome print =
+      match outcome with
+      | Guard.Complete r ->
+          print r;
+          0
+      | Guard.Exhausted { best_so_far = Some r; reason; checkpoint; spent } ->
+          report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
+          Format.printf "best-so-far hypothesis (no optimality certificate):@.";
+          print r;
+          exit_degraded
+      | Guard.Exhausted { best_so_far = None; reason; checkpoint; spent } ->
+          report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
+          Format.eprintf "folearn learn: no hypothesis salvaged@.";
+          exit_exhausted
+    in
+    match solver with
     | `Brute ->
-        let r = Folearn.Erm_brute.solve g ~k ~ell ~q lam in
-        Format.printf "solver: Prop 11 exact ERM (tried %d parameter tuples)@."
-          r.Folearn.Erm_brute.params_tried;
-        Format.printf "training error: %.4f@." r.Folearn.Erm_brute.err;
-        Format.printf "%a@." Folearn.Hypothesis.pp r.Folearn.Erm_brute.hypothesis
+        conclude (Folearn.Erm_brute.solve_budgeted ?budget g ~k ~ell ~q lam)
+          (fun (r : Folearn.Erm_brute.result) ->
+            Format.printf
+              "solver: Prop 11 exact ERM (tried %d parameter tuples)@."
+              r.Folearn.Erm_brute.params_tried;
+            Format.printf "training error: %.4f@." r.Folearn.Erm_brute.err;
+            Format.printf "%a@." Folearn.Hypothesis.pp
+              r.Folearn.Erm_brute.hypothesis)
     | `Nd ->
         let cls = Splitter.Nowhere_dense.of_graph "cli" g in
         let cfg =
           Folearn.Erm_nd.default_config ~radius:1 ~k ~ell_star:(max 1 ell)
             ~q_star:q cls
         in
-        let rep = Folearn.Erm_nd.solve cfg g lam in
-        Format.printf
-          "solver: Theorem 13 (rounds %d, branches %d, ell used %d, rank %d)@."
-          (List.length rep.Folearn.Erm_nd.rounds)
-          rep.Folearn.Erm_nd.branches_explored rep.Folearn.Erm_nd.ell_used
-          rep.Folearn.Erm_nd.q_used;
-        Format.printf "training error: %.4f@." rep.Folearn.Erm_nd.err;
-        Format.printf "parameters: %a@." Graph.Tuple.pp
-          (Folearn.Hypothesis.params rep.Folearn.Erm_nd.hypothesis)
+        conclude (Folearn.Erm_nd.solve_budgeted ?budget cfg g lam)
+          (fun (rep : Folearn.Erm_nd.report) ->
+            Format.printf
+              "solver: Theorem 13 (rounds %d, branches %d, ell used %d, rank \
+               %d)@."
+              (List.length rep.Folearn.Erm_nd.rounds)
+              rep.Folearn.Erm_nd.branches_explored rep.Folearn.Erm_nd.ell_used
+              rep.Folearn.Erm_nd.q_used;
+            Format.printf "training error: %.4f@." rep.Folearn.Erm_nd.err;
+            Format.printf "parameters: %a@." Graph.Tuple.pp
+              (Folearn.Hypothesis.params rep.Folearn.Erm_nd.hypothesis))
     | `Counting ->
-        let r = Folearn.Erm_counting.solve g ~k ~ell ~q ~tmax lam in
-        Format.printf
-          "solver: exact counting ERM (FOC, thresholds <= %d; tried %d \
-           parameter tuples)@."
-          tmax r.Folearn.Erm_counting.params_tried;
-        Format.printf "training error: %.4f@." r.Folearn.Erm_counting.err;
-        Format.printf "%a@." Folearn.Hypothesis.pp
-          r.Folearn.Erm_counting.hypothesis
-    | `Local ->
-        let r = Folearn.Erm_local.solve g ~k ~ell ~q lam in
-        Format.printf
-          "solver: sublinear local learner (pool %d, touched %d of %d \
-           vertices)@."
-          r.Folearn.Erm_local.pool_size r.Folearn.Erm_local.vertices_touched
-          (Graph.order g);
-        Format.printf "training error: %.4f@." r.Folearn.Erm_local.err;
-        Format.printf "parameters: %a@." Graph.Tuple.pp
-          (Folearn.Hypothesis.params r.Folearn.Erm_local.hypothesis));
-    0
+        conclude
+          (Folearn.Erm_counting.solve_budgeted ?budget g ~k ~ell ~q ~tmax lam)
+          (fun (r : Folearn.Erm_counting.result) ->
+            Format.printf
+              "solver: exact counting ERM (FOC, thresholds <= %d; tried %d \
+               parameter tuples)@."
+              tmax r.Folearn.Erm_counting.params_tried;
+            Format.printf "training error: %.4f@." r.Folearn.Erm_counting.err;
+            Format.printf "%a@." Folearn.Hypothesis.pp
+              r.Folearn.Erm_counting.hypothesis)
+    | `Local -> (
+        match budget with
+        | None ->
+            let r = Folearn.Erm_local.solve g ~k ~ell ~q lam in
+            Format.printf
+              "solver: sublinear local learner (pool %d, touched %d of %d \
+               vertices)@."
+              r.Folearn.Erm_local.pool_size r.Folearn.Erm_local.vertices_touched
+              (Graph.order g);
+            Format.printf "training error: %.4f@." r.Folearn.Erm_local.err;
+            Format.printf "parameters: %a@." Graph.Tuple.pp
+              (Folearn.Hypothesis.params r.Folearn.Erm_local.hypothesis);
+            0
+        | Some _ ->
+            (* budgeted local runs go through the degradation chain:
+               local at rank q, then exact brute-force ERM at ranks
+               q-1, ..., 0, all racing one wall-clock deadline *)
+            let print (l : Folearn.Degrade.learned) =
+              List.iter
+                (fun (a : Folearn.Degrade.attempt) ->
+                  Format.eprintf
+                    "folearn learn: stage %s at rank %d exhausted (%s at %s)@."
+                    a.Folearn.Degrade.solver a.Folearn.Degrade.q
+                    (Guard.reason_to_string a.Folearn.Degrade.reason)
+                    (Guard.checkpoint_to_string a.Folearn.Degrade.checkpoint))
+                l.Folearn.Degrade.attempts;
+              Format.printf "solver: %s ERM at rank %d%s@."
+                (match l.Folearn.Degrade.solver with
+                | "local" -> "sublinear local"
+                | s -> "fallback " ^ s)
+                l.Folearn.Degrade.q_used
+                (if l.Folearn.Degrade.degraded then " (degraded)" else "");
+              Format.printf "training error: %.4f@." l.Folearn.Degrade.err;
+              Format.printf "parameters: %a@." Graph.Tuple.pp
+                (Folearn.Hypothesis.params l.Folearn.Degrade.hypothesis)
+            in
+            match Folearn.Degrade.learn ?budget g ~k ~ell ~q lam with
+            | Guard.Complete l ->
+                print l;
+                if l.Folearn.Degrade.degraded then exit_degraded else 0
+            | Guard.Exhausted
+                { best_so_far = Some l; reason; checkpoint; spent } ->
+                report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
+                Format.printf
+                  "best-so-far hypothesis (no optimality certificate):@.";
+                print l;
+                exit_degraded
+            | Guard.Exhausted { best_so_far = None; reason; checkpoint; spent }
+              ->
+                report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
+                Format.eprintf "folearn learn: no hypothesis salvaged@.";
+                exit_exhausted)
   in
   let term =
     Term.(
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
-      $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ trace_arg
-      $ stats_arg $ stats_json_arg)
+      $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ fuel_arg
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ trace_arg $ stats_arg
+      $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
@@ -304,7 +430,7 @@ let mc_cmd =
   let formula_arg =
     Arg.(
       required
-      & opt (some formula_conv) None
+      & opt (some string) None
       & info [ "f"; "formula" ] ~docv:"SENTENCE" ~doc:"Sentence to check.")
   in
   let via_erm_arg =
@@ -313,31 +439,50 @@ let mc_cmd =
       & info [ "via-erm" ]
           ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
   in
-  let run g colors phi via_erm trace stats stats_json =
+  let run g colors phi via_erm fuel timeout max_table max_ball trace stats
+      stats_json =
     with_obs ~trace ~stats ~stats_json @@ fun () ->
+    let phi = parse_formula_or_exit ~cmd:"mc" ~flag:"--formula" phi in
+    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
-    if via_erm then begin
-      let verdict, stats =
-        Folearn.Reduction.model_check ~oracle:Folearn.Reduction.exact_oracle g
-          phi
-      in
-      Format.printf "%b@." verdict;
-      Format.printf
-        "(oracle calls: %d, recursion nodes: %d, representative sets: [%s])@."
-        stats.Folearn.Reduction.oracle_calls
-        stats.Folearn.Reduction.recursion_nodes
-        (String.concat "; "
-           (List.map string_of_int
-              stats.Folearn.Reduction.representative_sets))
-    end
-    else Format.printf "%b@." (Modelcheck.Eval.sentence g phi);
-    0
+    let outcome =
+      if via_erm then
+        Guard.outcome_map
+          (fun (verdict, stats) ->
+            fun () ->
+             Format.printf "%b@." verdict;
+             Format.printf
+               "(oracle calls: %d, recursion nodes: %d, representative sets: \
+                [%s])@."
+               stats.Folearn.Reduction.oracle_calls
+               stats.Folearn.Reduction.recursion_nodes
+               (String.concat "; "
+                  (List.map string_of_int
+                     stats.Folearn.Reduction.representative_sets)))
+          (Folearn.Reduction.model_check_budgeted ?budget
+             ~oracle:Folearn.Reduction.exact_oracle g phi)
+      else
+        Guard.run ?budget
+          ~salvage:(fun () -> None)
+          (fun () ->
+            let verdict = Modelcheck.Eval.sentence g phi in
+            fun () -> Format.printf "%b@." verdict)
+    in
+    match outcome with
+    | Guard.Complete print ->
+        print ();
+        0
+    | Guard.Exhausted { reason; checkpoint; spent; _ } ->
+        (* a truth value is all-or-nothing: no partial verdict to keep *)
+        report_exhausted ~cmd:"mc" ~reason ~checkpoint ~spent;
+        exit_exhausted
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"First-order model checking (direct or via Theorem 1).")
     Term.(
-      const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg
-      $ trace_arg $ stats_arg $ stats_json_arg)
+      const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg $ fuel_arg
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ trace_arg $ stats_arg
+      $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* types                                                               *)
@@ -351,32 +496,43 @@ let types_cmd =
       value & flag
       & info [ "hintikka" ] ~doc:"Also print one Hintikka formula per class.")
   in
-  let run g colors q k hintikka trace stats stats_json =
+  let run g colors q k hintikka fuel timeout max_table max_ball trace stats
+      stats_json =
     with_obs ~trace ~stats ~stats_json @@ fun () ->
+    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
-    let ctx = Modelcheck.Types.make_ctx g in
-    let classes =
-      Modelcheck.Types.partition_by_tp ctx ~q
-        (Graph.Tuple.all ~n:(Graph.order g) ~k)
+    let outcome =
+      Guard.run ?budget
+        ~salvage:(fun () -> None)
+        (fun () ->
+          let ctx = Modelcheck.Types.make_ctx g in
+          Modelcheck.Types.partition_by_tp ctx ~q
+            (Graph.Tuple.all ~n:(Graph.order g) ~k))
     in
-    Format.printf "%d distinct tp_%d classes of %d-tuples on %d vertices@."
-      (List.length classes) q k (Graph.order g);
-    List.iteri
-      (fun i (ty, members) ->
-        Format.printf "class %d (%a): %d tuples, e.g. %a@." i
-          Modelcheck.Types.pp ty (List.length members) Graph.Tuple.pp
-          (List.hd members);
-        if hintikka then
-          Format.printf "  %a@." Fo.Formula.pp
-            (Modelcheck.Hintikka.of_type ~colors:(Graph.color_names g) ty))
-      classes;
-    0
+    match outcome with
+    | Guard.Complete classes ->
+        Format.printf "%d distinct tp_%d classes of %d-tuples on %d vertices@."
+          (List.length classes) q k (Graph.order g);
+        List.iteri
+          (fun i (ty, members) ->
+            Format.printf "class %d (%a): %d tuples, e.g. %a@." i
+              Modelcheck.Types.pp ty (List.length members) Graph.Tuple.pp
+              (List.hd members);
+            if hintikka then
+              Format.printf "  %a@." Fo.Formula.pp
+                (Modelcheck.Hintikka.of_type ~colors:(Graph.color_names g) ty))
+          classes;
+        0
+    | Guard.Exhausted { reason; checkpoint; spent; _ } ->
+        report_exhausted ~cmd:"types" ~reason ~checkpoint ~spent;
+        exit_exhausted
   in
   Cmd.v
     (Cmd.info "types" ~doc:"Print the q-type partition of the graph.")
     Term.(
       const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg
-      $ trace_arg $ stats_arg $ stats_json_arg)
+      $ fuel_arg $ timeout_arg $ max_table_arg $ max_ball_arg $ trace_arg
+      $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game                                                                *)
@@ -384,30 +540,40 @@ let types_cmd =
 
 let game_cmd =
   let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~doc:"Game radius.") in
-  let run g colors r trace stats stats_json =
+  let run g colors r fuel timeout max_table max_ball trace stats stats_json =
     with_obs ~trace ~stats ~stats_json @@ fun () ->
+    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
-    let tr =
-      Splitter.Game.trace g ~r
-        ~connector:(Splitter.Strategy.connector_max_ball ~r)
-        ~splitter:Splitter.Strategy.best_heuristic
+    let outcome =
+      Guard.run ?budget
+        ~salvage:(fun () -> None)
+        (fun () ->
+          Splitter.Game.trace g ~r
+            ~connector:(Splitter.Strategy.connector_max_ball ~r)
+            ~splitter:Splitter.Strategy.best_heuristic)
     in
-    List.iteri
-      (fun i (v, w, remaining) ->
-        Format.printf
-          "round %d: Connector -> %d, Splitter -> %d, arena %d vertices@."
-          (i + 1) v w remaining)
-      tr;
-    (match List.rev tr with
-    | (_, _, 0) :: _ -> Format.printf "Splitter wins in %d rounds@." (List.length tr)
-    | _ -> Format.printf "no win within the round cap@.");
-    0
+    match outcome with
+    | Guard.Complete tr ->
+        List.iteri
+          (fun i (v, w, remaining) ->
+            Format.printf
+              "round %d: Connector -> %d, Splitter -> %d, arena %d vertices@."
+              (i + 1) v w remaining)
+          tr;
+        (match List.rev tr with
+        | (_, _, 0) :: _ ->
+            Format.printf "Splitter wins in %d rounds@." (List.length tr)
+        | _ -> Format.printf "no win within the round cap@.");
+        0
+    | Guard.Exhausted { reason; checkpoint; spent; _ } ->
+        report_exhausted ~cmd:"game" ~reason ~checkpoint ~spent;
+        exit_exhausted
   in
   Cmd.v
     (Cmd.info "game" ~doc:"Play out the (r, s)-splitter game.")
     Term.(
-      const run $ graph_arg $ colors_arg $ r_arg $ trace_arg $ stats_arg
-      $ stats_json_arg)
+      const run $ graph_arg $ colors_arg $ r_arg $ fuel_arg $ timeout_arg
+      $ max_table_arg $ max_ball_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)

@@ -510,6 +510,7 @@ type cost = {
   size : int;
   locality_radius : int option;
   hintikka_log2 : float;
+  ramsey_r233_log2 : float;
 }
 
 let colour_names f =
@@ -545,6 +546,25 @@ let hintikka_log2 ~colors ~q ~k =
   in
   log2_t q k
 
+(* log2 of the Ramsey bound R(2, s, 3) <= floor(s! * e) + 1 that the
+   Lemma 7 hardness reduction consumes, with s = 2^[s_log2] colours
+   (one per distinct oracle-answer signature, bounded by the type
+   table).  Stirling: log2 s! ~ s (log2 s - log2 e) + (1/2) log2 (2 pi
+   s).  Like [hintikka_log2] this saturates to [infinity] (JSON null)
+   rather than wrapping — the native-int version of the same bound in
+   [Folearn.Ramsey] saturates to [Saturated] for the same reason. *)
+let ramsey_r233_log2 ~s_log2 =
+  if s_log2 > 62.0 then infinity
+  else begin
+    let s = Float.exp2 s_log2 in
+    if s < 2.0 then Float.log2 3.0 (* R(3) with one colour *)
+    else
+      let log2_e = Float.log2 (Float.exp 1.0) in
+      (s *. (s_log2 -. log2_e))
+      +. (0.5 *. Float.log2 (2.0 *. Float.pi *. s))
+      +. log2_e
+  end
+
 let cost ?vocab phi =
   let rank = Formula.quantifier_rank phi in
   let free = Formula.free_vars phi in
@@ -563,7 +583,11 @@ let cost ?vocab phi =
     free_count = List.length free;
     size = Formula.size phi;
     locality_radius;
-    hintikka_log2 = hintikka_log2 ~colors ~q:rank ~k:(max 1 (List.length free));
+    hintikka_log2 =
+      hintikka_log2 ~colors ~q:rank ~k:(max 1 (List.length free));
+    ramsey_r233_log2 =
+      ramsey_r233_log2
+        ~s_log2:(hintikka_log2 ~colors ~q:rank ~k:(max 1 (List.length free)));
   }
 
 let cost_json c =
@@ -578,6 +602,7 @@ let cost_json c =
         | None -> Obs.Json.Null );
       (* non-finite floats serialise as null = "beyond any table" *)
       ("hintikka_log2", Obs.Json.Float c.hintikka_log2);
+      ("ramsey_r233_log2", Obs.Json.Float c.ramsey_r233_log2);
     ]
 
 let cost_diagnostic ?vocab phi =

@@ -58,6 +58,12 @@ type cost = {
       (** log2 upper bound on the rank-[q] Hintikka type table for this
           formula's interface; [infinity] once the tower of exponents
           saturates *)
+  ramsey_r233_log2 : float;
+      (** log2 of the Ramsey bound [R(2, s, 3) <= s!·e + 1] the Lemma 7
+          reduction needs, with [s = 2^hintikka_log2] oracle-answer
+          colours (Stirling estimate); [infinity] — serialised as JSON
+          null — once it saturates, mirroring
+          [Folearn.Ramsey.Saturated] instead of wrapping *)
 }
 
 val cost : ?vocab:Vocab.t -> Fo.Formula.t -> cost

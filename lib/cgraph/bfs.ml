@@ -34,6 +34,7 @@ let distances_multi g srcs =
       end)
     srcs;
   while not (Queue.is_empty queue) do
+    Guard.tick Guard.Bfs_frontier;
     let u = Queue.take queue in
     let du = dist.(u) in
     Array.iter
@@ -62,6 +63,7 @@ let dist g u v =
     let result = ref infinity in
     (try
        while not (Queue.is_empty queue) do
+         Guard.tick Guard.Bfs_frontier;
          let x = Queue.take queue in
          Array.iter
            (fun y ->
@@ -90,11 +92,16 @@ let ball g ~r srcs =
   if r < 0 then invalid_arg "Bfs.ball: negative radius";
   let d = distances_multi g srcs in
   let acc = ref [] in
+  let count = ref 0 in
   for v = Graph.order g - 1 downto 0 do
-    if d.(v) <= r then acc := v :: !acc
+    if d.(v) <= r then begin
+      acc := v :: !acc;
+      incr count
+    end
   done;
+  Guard.note_ball !count;
   if Obs.Sink.enabled () then
-    Obs.Metric.observe ball_h (float_of_int (List.length !acc));
+    Obs.Metric.observe ball_h (float_of_int !count);
   !acc
 
 let ball_tuple g ~r t = ball g ~r (Array.to_list t)
@@ -115,6 +122,7 @@ let within g ~r u v =
     let found = ref false in
     (try
        while not (Queue.is_empty queue) do
+         Guard.tick Guard.Bfs_frontier;
          let x = Queue.take queue in
          if dist_arr.(x) >= r then raise Exit;
          Array.iter

@@ -220,4 +220,17 @@ module Tuple = struct
         List.concat (List.init n (fun v -> List.map (fun t -> v :: t) rest))
     in
     List.map Array.of_list (go k)
+
+  let iter_all ~n ~k f =
+    if k < 0 then invalid_arg "Tuple.iter_all: negative arity";
+    let buf = Array.make k 0 in
+    let rec go i =
+      if i = k then f (Array.sub buf 0 k)
+      else
+        for v = 0 to n - 1 do
+          buf.(i) <- v;
+          go (i + 1)
+        done
+    in
+    go 0
 end

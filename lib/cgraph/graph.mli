@@ -109,4 +109,10 @@ module Tuple : sig
   val all : n:int -> k:int -> t list
   (** All [n^k] tuples over [{0..n-1}], lexicographically.  [k = 0] gives
       the single empty tuple. *)
+
+  val iter_all : n:int -> k:int -> (t -> unit) -> unit
+  (** [iter_all ~n ~k f] applies [f] to the same [n^k] tuples in the
+      same lexicographic order as {!all}, without materialising the
+      list — so a resource budget can interrupt the enumeration
+      part-way.  Each call receives a fresh array. *)
 end

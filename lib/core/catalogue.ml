@@ -26,38 +26,53 @@ let formula_of_types g ~ell ~q:_ ~r thetas =
               (Modelcheck.Hintikka.of_type ~colors theta)))
        thetas)
 
-let subsets_smallest_first items ~limit =
-  (* enumerate subsets in order of increasing cardinality, skipping the
-     empty set, stopping at [limit] *)
+(* enumerate subsets in order of increasing cardinality, skipping the
+   empty set, stopping at [limit] — streamed so a budget checkpoint in
+   the consumer can stop the walk before the subset lattice blows up *)
+let iter_subsets_smallest_first items ~limit f =
   let arr = Array.of_list items in
   let n = Array.length arr in
-  let out = ref [] in
   let count = ref 0 in
-  (try
-     for size = 1 to n do
-       (* all index subsets of the given size *)
-       let rec choose start acc =
-         if List.length acc = size then begin
-           incr count;
-           out := List.rev_map (fun i -> arr.(i)) acc :: !out;
-           if !count >= limit then raise Exit
-         end
-         else
-           for i = start to n - 1 do
-             choose (i + 1) (i :: acc)
-           done
-       in
-       choose 0 []
-     done
-   with Exit -> ());
-  List.rev !out
+  try
+    for size = 1 to n do
+      (* all index subsets of the given size *)
+      let rec choose start acc len =
+        if len = size then begin
+          incr count;
+          f (List.rev_map (fun i -> arr.(i)) acc);
+          if !count >= limit then raise Exit
+        end
+        else
+          for i = start to n - 1 do
+            choose (i + 1) (i :: acc) (len + 1)
+          done
+      in
+      choose 0 [] 0
+    done
+  with Exit -> ()
+
+(* grows the catalogue into [acc] (newest first) so a budgeted caller
+   can salvage the formulas built before a trip *)
+let build g ~ell ~q ~r ~max_size acc =
+  let types = realised_types g ~ell ~q ~r in
+  let count = ref 0 in
+  iter_subsets_smallest_first types ~limit:max_size (fun thetas ->
+      incr count;
+      Guard.note_catalogue !count;
+      acc := formula_of_types g ~ell ~q ~r thetas :: !acc);
+  List.rev !acc
 
 let of_local_types g ~ell ~q ~r ?(max_size = 256) () =
   if ell < 0 then invalid_arg "Catalogue.of_local_types: negative ell";
-  let types = realised_types g ~ell ~q ~r in
-  List.map
-    (fun thetas -> formula_of_types g ~ell ~q ~r thetas)
-    (subsets_smallest_first types ~limit:max_size)
+  build g ~ell ~q ~r ~max_size (ref [])
+
+let of_local_types_budgeted ?budget g ~ell ~q ~r ?(max_size = 256) () =
+  if ell < 0 then invalid_arg "Catalogue.of_local_types: negative ell";
+  let acc = ref [] in
+  Guard.run ?budget
+    ~salvage:(fun () ->
+      match !acc with [] -> None | fs -> Some (List.rev fs))
+    (fun () -> build g ~ell ~q ~r ~max_size acc)
 
 let positive_types_only g ~ell ~q ~r =
   List.map

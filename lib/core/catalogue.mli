@@ -27,3 +27,13 @@ val positive_types_only :
 (** The singleton-type catalogue only (one formula per realised class):
     linear in the number of classes, often enough for realisable
     targets that are a single type. *)
+
+val of_local_types_budgeted :
+  ?budget:Guard.Budget.t ->
+  Graph.t -> ell:int -> q:int -> r:int -> ?max_size:int -> unit ->
+  Fo.Formula.t list Guard.outcome
+(** {!of_local_types} under a resource budget (checkpoint class
+    [Catalogue_growth], cap [max_catalogue]).  On exhaustion,
+    [best_so_far] holds the formulas built before the trip — a valid,
+    smaller catalogue (smallest-first order means the low-complexity
+    hypotheses survive). *)

@@ -1,0 +1,49 @@
+(** Graceful degradation for the learning pipeline.
+
+    The paper's parameters are brutally expensive: the Gaifman radius
+    of {!Erm_local} grows like [7^q], so a budget trip at the requested
+    rank is common.  Rather than give up, the chain falls back to
+    {!Erm_brute} at strictly smaller quantifier rank — a coarser but
+    cheaper hypothesis class — one fresh budget stage per rank
+    ({!Guard.Budget.for_stage}: fresh fuel and cap counters, the same
+    absolute wall-clock deadline), until a stage completes or rank 0 is
+    exhausted too.
+
+    The chain is sound for the paper's agnostic ERM semantics: every
+    answer is a genuine hypothesis with its true empirical error, only
+    the min-error certificate weakens (from "optimal over
+    [H_{k,l,q}]" to "optimal over the class of the stage that
+    completed", or — for [best_so_far] — "best seen before the
+    budget ran out"). *)
+
+
+
+(** One budget-exhausted stage of the chain (for diagnostics). *)
+type attempt = {
+  solver : string;  (** ["local"] or ["brute"] *)
+  q : int;  (** quantifier rank the stage attempted *)
+  reason : Guard.reason;
+  checkpoint : Guard.checkpoint;
+  spent : Guard.spent;
+}
+
+type learned = {
+  hypothesis : Hypothesis.t;
+  err : float;  (** empirical error of [hypothesis] on the sample *)
+  solver : string;  (** solver of the stage that produced it *)
+  q_used : int;  (** quantifier rank of the producing stage *)
+  degraded : bool;  (** [true] iff a fallback stage answered *)
+  attempts : attempt list;  (** exhausted stages, in attempt order *)
+}
+
+val learn :
+  ?budget:Guard.Budget.t ->
+  ?radius:int ->
+  Cgraph.Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> learned Guard.outcome
+(** [learn ?budget g ~k ~ell ~q lam] runs {!Erm_local.solve} at rank
+    [q]; on budget exhaustion it degrades to {!Erm_brute.solve} at
+    ranks [q-1, q-2, ..., 0].  [Complete] means some stage finished
+    ([degraded] tells which kind); [Exhausted] means every stage
+    tripped, with [best_so_far] the lowest-error hypothesis salvaged
+    from any stage.  Without [budget] this is exactly
+    {!Erm_local.solve}. *)

@@ -52,30 +52,8 @@ let solve_for_params_ctx ctx g ~k ~q ~params lam =
 let solve_for_params g ~k ~q ~params lam =
   solve_for_params_ctx (Types.make_ctx g) g ~k ~q ~params lam
 
-let solve g ~k ~ell ~q lam =
-  Obs.Span.with_ "erm_brute.solve"
-    ~args:
-      [ ("k", string_of_int k); ("ell", string_of_int ell);
-        ("q", string_of_int q) ]
-  @@ fun () ->
-  Analysis.Guard.require ~what:"Erm_brute.solve"
-    (Analysis.Guard.budgets ~ell ~q ~k ());
-  check_arity ~k lam;
-  let ctx = Types.make_ctx g in
-  let candidates = Graph.Tuple.all ~n:(Graph.order g) ~k:ell in
-  let tried = ref 0 in
-  let best = ref None in
-  List.iter
-    (fun params ->
-      incr tried;
-      Obs.Metric.incr hypotheses_enumerated;
-      Obs.Metric.incr consistency_checks;
-      let chosen, errs = majority_types ctx ~q ~params lam in
-      match !best with
-      | Some (_, _, best_errs) when best_errs <= errs -> ()
-      | _ -> best := Some (params, chosen, errs))
-    candidates;
-  match !best with
+let finish g ~k ~q lam ~tried best =
+  match best with
   | Some (params, chosen, errs) ->
       {
         hypothesis = Hypothesis.of_types g ~k ~q ~types:chosen ~params;
@@ -83,7 +61,7 @@ let solve g ~k ~ell ~q lam =
           (match lam with
           | [] -> 0.0
           | _ -> float_of_int errs /. float_of_int (Sample.size lam));
-        params_tried = !tried;
+        params_tried = tried;
       }
   | None ->
       (* ell >= 1 on the empty graph: H is empty unless there are no
@@ -91,7 +69,51 @@ let solve g ~k ~ell ~q lam =
       {
         hypothesis = Hypothesis.constantly g ~k false;
         err = Sample.error_of (fun _ -> false) lam;
-        params_tried = 0;
+        params_tried = tried;
       }
+
+(* The enumeration core, shared by [solve] and [solve_budgeted].  It
+   streams candidate tuples (no materialised [n^ell] list) so an
+   ambient budget can interrupt it at any checkpoint, and keeps the
+   best candidate in [best] so the budgeted entry can salvage it. *)
+let solve_body g ~k ~ell ~q lam ~tried ~best =
+  Analysis.Guard.require ~what:"Erm_brute.solve"
+    (Analysis.Guard.budgets ~ell ~q ~k ());
+  check_arity ~k lam;
+  let ctx = Types.make_ctx g in
+  Graph.Tuple.iter_all ~n:(Graph.order g) ~k:ell (fun params ->
+      Guard.tick Guard.Solver_loop;
+      incr tried;
+      Obs.Metric.incr hypotheses_enumerated;
+      Obs.Metric.incr consistency_checks;
+      let chosen, errs = majority_types ctx ~q ~params lam in
+      match !best with
+      | Some (_, _, best_errs) when best_errs <= errs -> ()
+      | _ -> best := Some (params, chosen, errs));
+  finish g ~k ~q lam ~tried:!tried !best
+
+let solve g ~k ~ell ~q lam =
+  Obs.Span.with_ "erm_brute.solve"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q) ]
+  @@ fun () ->
+  solve_body g ~k ~ell ~q lam ~tried:(ref 0) ~best:(ref None)
+
+let solve_budgeted ?budget g ~k ~ell ~q lam =
+  Obs.Span.with_ "erm_brute.solve_budgeted"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q) ]
+  @@ fun () ->
+  let tried = ref 0 and best = ref None in
+  Guard.run ?budget
+    ~salvage:(fun () ->
+      (* Only salvage if at least one candidate finished evaluating;
+         the constant fallback would not be "best seen so far". *)
+      match !best with
+      | None -> None
+      | Some _ -> Some (finish g ~k ~q lam ~tried:!tried !best))
+    (fun () -> solve_body g ~k ~ell ~q lam ~tried ~best)
 
 let optimal_error g ~k ~ell ~q lam = (solve g ~k ~ell ~q lam).err

@@ -26,6 +26,16 @@ val solve : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result
     [(k+ℓ)]-tuples.
     @raise Invalid_argument if an example has arity other than [k]. *)
 
+val solve_budgeted :
+  ?budget:Guard.Budget.t ->
+  Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
+(** {!solve} under a resource budget.  [Complete r] is exactly the
+    unbudgeted result; on exhaustion, [best_so_far] is the best
+    hypothesis among the candidates that finished evaluating (with its
+    empirical error), or [None] if none did — still a sound hypothesis
+    under the agnostic semantics, only without the min-error
+    certificate. *)
+
 val optimal_error : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> float
 (** Just [ε* = min_{h ∈ H_{k,ℓ,q}} err_Λ(h)]. *)
 

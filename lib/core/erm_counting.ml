@@ -34,29 +34,8 @@ let majority ctx ~q ~tmax ~params lam =
       if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
     votes ([], 0)
 
-let solve g ~k ~ell ~q ~tmax lam =
-  Obs.Span.with_ "erm_counting.solve"
-    ~args:
-      [ ("k", string_of_int k); ("ell", string_of_int ell);
-        ("q", string_of_int q); ("tmax", string_of_int tmax) ]
-  @@ fun () ->
-  Analysis.Guard.require ~what:"Erm_counting.solve"
-    (Analysis.Guard.budgets ~ell ~q ~tmax ~k ());
-  check_arity ~k lam;
-  let ctx = C.make_ctx g in
-  let tried = ref 0 in
-  let best = ref None in
-  List.iter
-    (fun params ->
-      incr tried;
-      Obs.Metric.incr hypotheses_enumerated;
-      Obs.Metric.incr consistency_checks;
-      let chosen, errs = majority ctx ~q ~tmax ~params lam in
-      match !best with
-      | Some (_, _, best_errs) when best_errs <= errs -> ()
-      | _ -> best := Some (params, chosen, errs))
-    (Graph.Tuple.all ~n:(Graph.order g) ~k:ell);
-  match !best with
+let finish g ~k ~q ~tmax lam ~tried best =
+  match best with
   | Some (params, chosen, errs) ->
       {
         hypothesis =
@@ -65,13 +44,51 @@ let solve g ~k ~ell ~q ~tmax lam =
           (match lam with
           | [] -> 0.0
           | _ -> float_of_int errs /. float_of_int (Sample.size lam));
-        params_tried = !tried;
+        params_tried = tried;
       }
   | None ->
       {
         hypothesis = Hypothesis.constantly g ~k false;
         err = Sample.error_of (fun _ -> false) lam;
-        params_tried = 0;
+        params_tried = tried;
       }
+
+let solve_body g ~k ~ell ~q ~tmax lam ~tried ~best =
+  Analysis.Guard.require ~what:"Erm_counting.solve"
+    (Analysis.Guard.budgets ~ell ~q ~tmax ~k ());
+  check_arity ~k lam;
+  let ctx = C.make_ctx g in
+  Graph.Tuple.iter_all ~n:(Graph.order g) ~k:ell (fun params ->
+      Guard.tick Guard.Solver_loop;
+      incr tried;
+      Obs.Metric.incr hypotheses_enumerated;
+      Obs.Metric.incr consistency_checks;
+      let chosen, errs = majority ctx ~q ~tmax ~params lam in
+      match !best with
+      | Some (_, _, best_errs) when best_errs <= errs -> ()
+      | _ -> best := Some (params, chosen, errs));
+  finish g ~k ~q ~tmax lam ~tried:!tried !best
+
+let solve g ~k ~ell ~q ~tmax lam =
+  Obs.Span.with_ "erm_counting.solve"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q); ("tmax", string_of_int tmax) ]
+  @@ fun () ->
+  solve_body g ~k ~ell ~q ~tmax lam ~tried:(ref 0) ~best:(ref None)
+
+let solve_budgeted ?budget g ~k ~ell ~q ~tmax lam =
+  Obs.Span.with_ "erm_counting.solve_budgeted"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q); ("tmax", string_of_int tmax) ]
+  @@ fun () ->
+  let tried = ref 0 and best = ref None in
+  Guard.run ?budget
+    ~salvage:(fun () ->
+      match !best with
+      | None -> None
+      | Some _ -> Some (finish g ~k ~q ~tmax lam ~tried:!tried !best))
+    (fun () -> solve_body g ~k ~ell ~q ~tmax lam ~tried ~best)
 
 let optimal_error g ~k ~ell ~q ~tmax lam = (solve g ~k ~ell ~q ~tmax lam).err

@@ -26,5 +26,12 @@ val solve :
 (** Exact counting ERM.
     @raise Invalid_argument on arity mismatch or [tmax < 1]. *)
 
+val solve_budgeted :
+  ?budget:Guard.Budget.t ->
+  Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t ->
+  result Guard.outcome
+(** {!solve} under a resource budget; see {!Erm_brute.solve_budgeted}
+    for the [best_so_far] contract. *)
+
 val optimal_error :
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t -> float

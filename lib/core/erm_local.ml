@@ -33,53 +33,32 @@ let majority ctx ~q ~r ~params lam =
       if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
     votes ([], 0)
 
-(* all j-tuples (with repetition) over a pool *)
-let rec tuples_over pool j =
-  if j = 0 then [ [] ]
+(* all j-tuples (with repetition) over a pool, streamed in the same
+   order the old materialised enumeration produced: the length-(j-1)
+   suffix varies in the outer loop, the new head in the inner one.
+   Streaming matters: a budget checkpoint inside the consumer must be
+   able to stop the enumeration before |pool|^j tuples exist. *)
+let rec iter_tuples pool j f =
+  if j = 0 then f []
   else
-    List.concat_map
-      (fun rest -> List.map (fun p -> p :: rest) pool)
-      (tuples_over pool (j - 1))
+    iter_tuples pool (j - 1) (fun rest ->
+        List.iter (fun p -> f (p :: rest)) pool)
 
-let solve ?radius g ~k ~ell ~q lam =
-  Obs.Span.with_ "erm_local.solve"
-    ~args:
-      [ ("k", string_of_int k); ("ell", string_of_int ell);
-        ("q", string_of_int q) ]
-  @@ fun () ->
-  Analysis.Guard.require ~what:"Erm_local.solve"
-    (Analysis.Guard.budgets ~ell ~q ?radius ~k ()
-    @ Analysis.Guard.sample_arity ~k (List.map fst lam));
-  let r = match radius with Some r -> r | None -> Fo.Gaifman.radius q in
-  let entries =
-    List.sort_uniq compare
-      (List.concat_map (fun (v, _) -> Array.to_list v) lam)
-  in
-  (* candidate parameter pool: the (2r+1)-neighbourhood of the examples *)
-  let pool = Bfs.ball g ~r:((2 * r) + 1) entries in
-  if Obs.Sink.enabled () then
-    Obs.Metric.observe pool_size_h (float_of_int (List.length pool));
-  (* everything the algorithm can touch: pool plus the radius-r balls
-     used by the local-type computations *)
-  let touched = Bfs.ball g ~r:((3 * r) + 2) entries in
-  let ctx = Types.make_ctx g in
-  let tried = ref 0 in
-  let best = ref None in
-  for j = 0 to ell do
-    List.iter
-      (fun params_list ->
-        incr tried;
-        Obs.Metric.incr hypotheses_enumerated;
-        Obs.Metric.incr consistency_checks;
-        let params = Array.of_list params_list in
-        let chosen, errs = majority ctx ~q ~r ~params lam in
-        match !best with
-        | Some (_, _, best_errs) when best_errs <= errs -> ()
-        | _ -> best := Some (params, chosen, errs))
-      (tuples_over pool j)
-  done;
+(* mutable progress shared between the solver body and the salvage
+   hook of [solve_budgeted] *)
+type progress = {
+  mutable pool_size : int;
+  mutable vertices_touched : int;
+  mutable tried : int;
+  mutable best : (Graph.Tuple.t * Types.ty list * int) option;
+}
+
+let fresh_progress () =
+  { pool_size = 0; vertices_touched = 0; tried = 0; best = None }
+
+let finish g ~k ~q ~r lam st =
   let params, chosen, errs =
-    match !best with
+    match st.best with
     | Some b -> b
     | None -> ([||], [], Sample.errors_of (fun _ -> false) lam)
   in
@@ -89,7 +68,65 @@ let solve ?radius g ~k ~ell ~q lam =
       (match lam with
       | [] -> 0.0
       | _ -> float_of_int errs /. float_of_int (Sample.size lam));
-    pool_size = List.length pool;
-    params_tried = !tried;
-    vertices_touched = List.length touched;
+    pool_size = st.pool_size;
+    params_tried = st.tried;
+    vertices_touched = st.vertices_touched;
   }
+
+let solve_body g ~k ~ell ~q ~r lam st =
+  Analysis.Guard.require ~what:"Erm_local.solve"
+    (Analysis.Guard.budgets ~ell ~q ~radius:r ~k ()
+    @ Analysis.Guard.sample_arity ~k (List.map fst lam));
+  let entries =
+    List.sort_uniq compare
+      (List.concat_map (fun (v, _) -> Array.to_list v) lam)
+  in
+  (* candidate parameter pool: the (2r+1)-neighbourhood of the examples *)
+  let pool = Bfs.ball g ~r:((2 * r) + 1) entries in
+  st.pool_size <- List.length pool;
+  if Obs.Sink.enabled () then
+    Obs.Metric.observe pool_size_h (float_of_int st.pool_size);
+  (* everything the algorithm can touch: pool plus the radius-r balls
+     used by the local-type computations *)
+  let touched = Bfs.ball g ~r:((3 * r) + 2) entries in
+  st.vertices_touched <- List.length touched;
+  let ctx = Types.make_ctx g in
+  for j = 0 to ell do
+    iter_tuples pool j (fun params_list ->
+        Guard.tick Guard.Solver_loop;
+        st.tried <- st.tried + 1;
+        Obs.Metric.incr hypotheses_enumerated;
+        Obs.Metric.incr consistency_checks;
+        let params = Array.of_list params_list in
+        let chosen, errs = majority ctx ~q ~r ~params lam in
+        match st.best with
+        | Some (_, _, best_errs) when best_errs <= errs -> ()
+        | _ -> st.best <- Some (params, chosen, errs))
+  done;
+  finish g ~k ~q ~r lam st
+
+let radius_for ?radius q =
+  match radius with Some r -> r | None -> Fo.Gaifman.radius q
+
+let solve ?radius g ~k ~ell ~q lam =
+  Obs.Span.with_ "erm_local.solve"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q) ]
+  @@ fun () ->
+  solve_body g ~k ~ell ~q ~r:(radius_for ?radius q) lam (fresh_progress ())
+
+let solve_budgeted ?budget ?radius g ~k ~ell ~q lam =
+  Obs.Span.with_ "erm_local.solve_budgeted"
+    ~args:
+      [ ("k", string_of_int k); ("ell", string_of_int ell);
+        ("q", string_of_int q) ]
+  @@ fun () ->
+  let r = radius_for ?radius q in
+  let st = fresh_progress () in
+  Guard.run ?budget
+    ~salvage:(fun () ->
+      match st.best with
+      | None -> None
+      | Some _ -> Some (finish g ~k ~q ~r lam st))
+    (fun () -> solve_body g ~k ~ell ~q ~r lam st)

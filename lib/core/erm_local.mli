@@ -39,3 +39,13 @@ val solve :
     [err <= err_Λ(v̄ ↦ ltp_{q,r}(v̄·w̄) ∈ Θ)] (tested exhaustively in the
     suite).
     @raise Invalid_argument on arity mismatch. *)
+
+val solve_budgeted :
+  ?budget:Guard.Budget.t ->
+  ?radius:int ->
+  Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
+(** {!solve} under a resource budget.  [Complete r] is exactly the
+    unbudgeted result; on exhaustion, [best_so_far] is the best
+    hypothesis among the parameter tuples that finished evaluating, or
+    [None] if the run tripped before any did (e.g. while building the
+    candidate pool). *)

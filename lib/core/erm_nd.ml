@@ -244,12 +244,11 @@ let rec subsets_up_to cap = function
 (* The solver                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let solve cfg g lam =
-  Obs.Span.with_ "erm_nd.solve"
-    ~args:
-      [ ("k", string_of_int cfg.k); ("ell", string_of_int cfg.ell_star);
-        ("q", string_of_int cfg.q_star) ]
-  @@ fun () ->
+(* Builds the search closure.  Returns [run] (the full nondeterministic
+   search followed by report assembly) and [salvage] (assemble a report
+   from the best leaf seen so far, or [None] if no leaf was reached) so
+   [solve_budgeted] can recover a partial answer after a budget trip. *)
+let solve_inner cfg g lam =
   if cfg.epsilon <= 0.0 then invalid_arg "Erm_nd.solve: epsilon must be > 0";
   Analysis.Guard.require ~what:"Erm_nd.solve"
     (Analysis.Guard.budgets ~ell:cfg.ell_star ~q:cfg.q_star ?tmax:cfg.counting
@@ -287,6 +286,7 @@ let solve cfg g lam =
   (* best = (errs, params, rounds) *)
   let best = ref None in
   let consider_leaf answers_rev rounds_rev =
+    Guard.tick Guard.Solver_loop;
     incr branches;
     Obs.Metric.incr hypotheses_enumerated;
     Obs.Metric.incr consistency_checks;
@@ -300,6 +300,7 @@ let solve cfg g lam =
   in
   let module ISet = Set.Make (Int) in
   let rec explore stage round answers_rev rounds_rev =
+    Guard.tick Guard.Solver_loop;
     let params_so_far =
       Array.of_list (List.concat (List.rev answers_rev))
     in
@@ -560,22 +561,47 @@ let solve cfg g lam =
       sexamples = List.mapi (fun i (v, b) -> (v, b, i)) lam;
     }
   in
-  explore stage0 0 [] [];
-  let errs, params, rounds =
-    match !best with
-    | Some b -> b
-    | None -> (Sample.errors_of (fun _ -> false) lam, [||], [])
+  let finish () =
+    let errs, params, rounds =
+      match !best with
+      | Some b -> b
+      | None -> (Sample.errors_of (fun _ -> false) lam, [||], [])
+    in
+    let chosen, errs' = majority_local typ_orig ~params lam in
+    assert (errs' = errs);
+    let hypothesis = typer.a_hyp g ~k ~ids:chosen ~params in
+    {
+      hypothesis;
+      err = (if m = 0 then 0.0 else float_of_int errs /. float_of_int m);
+      rounds;
+      r_used = r;
+      s_budget = s;
+      ell_used = Array.length params;
+      q_used = Hypothesis.quantifier_rank hypothesis;
+      branches_explored = !branches;
+    }
   in
-  let chosen, errs' = majority_local typ_orig ~params lam in
-  assert (errs' = errs);
-  let hypothesis = typer.a_hyp g ~k ~ids:chosen ~params in
-  {
-    hypothesis;
-    err = (if m = 0 then 0.0 else float_of_int errs /. float_of_int m);
-    rounds;
-    r_used = r;
-    s_budget = s;
-    ell_used = Array.length params;
-    q_used = Hypothesis.quantifier_rank hypothesis;
-    branches_explored = !branches;
-  }
+  let run () =
+    explore stage0 0 [] [];
+    finish ()
+  in
+  let salvage () = if !best = None then None else Some (finish ()) in
+  (run, salvage)
+
+let solve cfg g lam =
+  Obs.Span.with_ "erm_nd.solve"
+    ~args:
+      [ ("k", string_of_int cfg.k); ("ell", string_of_int cfg.ell_star);
+        ("q", string_of_int cfg.q_star) ]
+  @@ fun () ->
+  let run, _ = solve_inner cfg g lam in
+  run ()
+
+let solve_budgeted ?budget cfg g lam =
+  Obs.Span.with_ "erm_nd.solve_budgeted"
+    ~args:
+      [ ("k", string_of_int cfg.k); ("ell", string_of_int cfg.ell_star);
+        ("q", string_of_int cfg.q_star) ]
+  @@ fun () ->
+  let run, salvage = solve_inner cfg g lam in
+  Guard.run ?budget ~salvage run

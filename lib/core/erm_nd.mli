@@ -82,6 +82,13 @@ val solve : config -> Graph.t -> Sample.t -> report
     [ε* = min err over H_{k,ℓ*,q*}(G)].
     @raise Invalid_argument on arity mismatch or [epsilon <= 0]. *)
 
+val solve_budgeted :
+  ?budget:Guard.Budget.t -> config -> Graph.t -> Sample.t ->
+  report Guard.outcome
+(** {!solve} under a resource budget.  On exhaustion, [best_so_far]
+    reports the best leaf of the branch tree reached before the trip,
+    or [None] if the search tripped before reaching any leaf. *)
+
 val centre_set :
   Graph.t -> r:int -> cap:int -> critical:Graph.Tuple.t list -> Graph.vertex list
 (** The greedy centre set of Lemma 14: vertices pairwise more than

@@ -102,6 +102,7 @@ let solve g ~ell ~catalogue lam =
   let rec go tried = function
     | [] -> None
     | phi :: rest -> (
+        Guard.tick Guard.Solver_loop;
         Obs.Metric.incr hypotheses_enumerated;
         Obs.Metric.incr consistency_checks;
         match consistent_extension g ~ell phi lam with
@@ -118,3 +119,14 @@ let solve g ~ell ~catalogue lam =
         | None -> go (tried + 1) rest)
   in
   go 0 catalogue
+
+let solve_budgeted ?budget g ~ell ~catalogue lam =
+  Obs.Span.with_ "erm_realizable.solve_budgeted"
+    ~args:[ ("ell", string_of_int ell) ]
+  @@ fun () ->
+  (* The algorithm keeps no partial state worth salvaging: it returns
+     the first consistent formula, so an interrupted scan has no
+     best-so-far — only "no answer yet". *)
+  Guard.run ?budget
+    ~salvage:(fun () -> None)
+    (fun () -> solve g ~ell ~catalogue lam)

@@ -45,3 +45,14 @@ val consistent_extension :
   Graph.t -> ell:int -> Fo.Formula.t -> Sample.t -> Graph.Tuple.t option
 (** The inner parameter search for one formula: [Some w̄] iff the prefix
     construction succeeds. *)
+
+val solve_budgeted :
+  ?budget:Guard.Budget.t ->
+  Graph.t ->
+  ell:int ->
+  catalogue:Fo.Formula.t list ->
+  Sample.t ->
+  result option Guard.outcome
+(** {!solve} under a resource budget.  The scan keeps no partial state,
+    so on exhaustion [best_so_far] is always [None] — the caller knows
+    only that no catalogue formula was certified before the trip. *)

@@ -1,59 +1,85 @@
-let overflow_guard name x =
-  if x < 0 then invalid_arg (name ^ ": overflow")
+(* Saturating arithmetic.  The old code only tested [x < 0] after a
+   native multiplication, which misses products that wrap past min_int
+   back into the positives — [R(2, s, 3)] bounds do exactly that for
+   modest [s].  All quantities here are non-negative, so saturation is
+   detected {e before} the operation. *)
 
-let factorial n =
+type bound = Finite of int | Saturated
+
+let bound_to_string = function
+  | Finite v -> string_of_int v
+  | Saturated -> "saturated"
+
+let pp_bound ppf b = Format.pp_print_string ppf (bound_to_string b)
+
+(* both operands must be >= 0 *)
+let ( +! ) a b =
+  match (a, b) with
+  | Finite a, Finite b -> if a > max_int - b then Saturated else Finite (a + b)
+  | _ -> Saturated
+
+let ( *! ) a b =
+  match (a, b) with
+  | Finite a, Finite b ->
+      if a <> 0 && b > max_int / a then Saturated else Finite (a * b)
+  | _ -> Saturated
+
+let to_exn name = function
+  | Finite v -> v
+  | Saturated -> invalid_arg (name ^ ": overflow")
+
+let factorial_sat n =
   if n < 0 then invalid_arg "Ramsey.factorial: negative input";
-  let rec go acc i =
-    if i > n then acc
-    else begin
-      let acc' = acc * i in
-      if acc' < acc then invalid_arg "Ramsey.factorial: overflow";
-      go acc' (i + 1)
-    end
-  in
-  go 1 1
+  let rec go acc i = if i > n then acc else go (acc *! Finite i) (i + 1) in
+  go (Finite 1) 1
 
-let binomial n k =
-  if k < 0 || k > n then 0
+let factorial n = to_exn "Ramsey.factorial" (factorial_sat n)
+
+let binomial_sat n k =
+  if k < 0 || k > n then Finite 0
   else begin
     let k = min k (n - k) in
-    let acc = ref 1 in
-    for i = 1 to k do
-      let next = !acc * (n - k + i) / i in
-      overflow_guard "Ramsey.binomial" next;
-      acc := next
-    done;
-    !acc
+    let rec go acc i =
+      if i > k then acc
+      else
+        (* exact: acc holds C(n-k+i-1, i-1), and i consecutive integers
+           ending at n-k+i contain a multiple of i *)
+        match acc *! Finite (n - k + i) with
+        | Saturated -> Saturated
+        | Finite p -> go (Finite (p / i)) (i + 1)
+    in
+    go (Finite 1) 1
   end
 
-let triangle_bound ~colors =
+let binomial n k = to_exn "Ramsey.binomial" (binomial_sat n k)
+
+let triangle_bound_sat ~colors =
   if colors < 1 then invalid_arg "Ramsey.triangle_bound: need >= 1 colour";
   (* R_s(3) <= floor(s! * e) + 1 = 1 + sum_{i=0..s} s!/i!  (Greenwood-
      Gleason style bound) *)
   let s = colors in
-  let total = ref 0 in
-  let term = ref 1 in
+  let total = ref (Finite 0) in
+  let term = ref (Finite 1) in
   (* term = s! / i! computed downwards from i = s (term 1) to i = 0 *)
   for i = s downto 0 do
-    total := !total + !term;
-    overflow_guard "Ramsey.triangle_bound" !total;
-    if i >= 1 then begin
-      term := !term * i;
-      overflow_guard "Ramsey.triangle_bound" !term
-    end
+    total := !total +! !term;
+    if i >= 1 then term := !term *! Finite i
   done;
-  !total + 1
+  !total +! Finite 1
 
-let ramsey_upper ~colors ~clique =
+let triangle_bound ~colors =
+  to_exn "Ramsey.triangle_bound" (triangle_bound_sat ~colors)
+
+let ramsey_upper_sat ~colors ~clique =
   if colors < 1 || clique < 1 then
     invalid_arg "Ramsey.ramsey_upper: need colors, clique >= 1";
-  let memo : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let memo : (int list, bound) Hashtbl.t = Hashtbl.create 64 in
   (* args: multiset of clique targets, sorted *)
   let rec r args =
     match args with
-    | [] -> 1
-    | _ when List.mem 1 args -> 1
-    | [ m ] -> m (* one colour: K_m appears at n = m *)
+    | [] -> Finite 1
+    | _ when List.mem 1 args -> Finite 1
+    | [ m ] -> Finite m (* one colour: K_m appears at n = m *)
     | _ when List.mem 2 args ->
         (* R(2, rest) = R(rest): either some pair takes the "2" colour,
            or the colouring never uses it *)
@@ -69,18 +95,27 @@ let ramsey_upper ~colors ~clique =
         | Some v -> v
         | None ->
             let s = List.length args in
-            let total =
-              List.fold_left ( + ) (2 - s)
+            let sum =
+              List.fold_left ( +! ) (Finite 0)
                 (List.mapi
                    (fun i _ ->
                      r (List.mapi (fun j m -> if i = j then m - 1 else m) args))
                    args)
             in
-            overflow_guard "Ramsey.ramsey_upper" total;
+            (* the recurrence's 2 - s correction; each child is >= 1 so
+               the true total stays >= 2 and subtraction cannot wrap *)
+            let total =
+              match sum with
+              | Saturated -> Saturated
+              | Finite v -> Finite (v + 2 - s)
+            in
             Hashtbl.replace memo args total;
             total)
   in
   r (List.init colors (fun _ -> clique))
+
+let ramsey_upper ~colors ~clique =
+  to_exn "Ramsey.ramsey_upper" (ramsey_upper_sat ~colors ~clique)
 
 let monochromatic_triple ~color ~equal vs =
   let arr = Array.of_list (List.sort_uniq compare vs) in

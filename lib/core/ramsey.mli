@@ -5,6 +5,29 @@
     than [R(2, s, 3)] vertices contains a monochromatic triangle.  The
     classical multicolour bound is [R_s(3) <= ceil(s! * e) + 1]. *)
 
+(** A bound that may exceed the native integer range.  The arithmetic
+    below saturates {e before} the operation that would overflow, so a
+    too-large bound is reported as {!Saturated} rather than as a
+    silently wrapped (possibly positive!) native int. *)
+type bound = Finite of int | Saturated
+
+val bound_to_string : bound -> string
+val pp_bound : Format.formatter -> bound -> unit
+
+val factorial_sat : int -> bound
+(** @raise Invalid_argument on negative input. *)
+
+val binomial_sat : int -> int -> bound
+(** [binomial_sat n k], [Finite 0] outside range. *)
+
+val triangle_bound_sat : colors:int -> bound
+(** Saturating {!triangle_bound}.
+    @raise Invalid_argument if [colors < 1]. *)
+
+val ramsey_upper_sat : colors:int -> clique:int -> bound
+(** Saturating {!ramsey_upper}.
+    @raise Invalid_argument if [colors < 1] or [clique < 1]. *)
+
 val factorial : int -> int
 (** @raise Invalid_argument on negative input or overflow. *)
 

@@ -170,6 +170,7 @@ let model_check ?(general_l = false) ?(oracle_ell = 1) ?locality_radius ~oracle
   let max_colors = ref 0 in
   let fresh_counter = ref 0 in
   let rec decide g (phi : Fo.Formula.t) =
+    Guard.tick Guard.Solver_loop;
     incr nodes;
     match phi with
     | True -> true
@@ -259,3 +260,12 @@ let model_check ?(general_l = false) ?(oracle_ell = 1) ?locality_radius ~oracle
       representative_sets = List.rev !rep_sets;
       colors_observed = !max_colors;
     } )
+
+let model_check_budgeted ?budget ?general_l ?oracle_ell ?locality_radius
+    ~oracle g phi =
+  (* A half-finished decision procedure has no meaningful partial
+     verdict, so exhaustion salvages nothing; the caller still gets the
+     reason and the resources spent. *)
+  Guard.run ?budget
+    ~salvage:(fun () -> None)
+    (fun () -> model_check ?general_l ?oracle_ell ?locality_radius ~oracle g phi)

@@ -82,3 +82,17 @@ val model_check :
     non-local formula on [Ĝ'] and the radius grown until equivalent, so
     the answer stays sound at any starting radius).
     @raise Invalid_argument if [φ] has free variables. *)
+
+val model_check_budgeted :
+  ?budget:Guard.Budget.t ->
+  ?general_l:bool ->
+  ?oracle_ell:int ->
+  ?locality_radius:int ->
+  oracle:oracle ->
+  Graph.t ->
+  Fo.Formula.t ->
+  (bool * stats) Guard.outcome
+(** {!model_check} under a resource budget.  A decision procedure has
+    no partial verdict, so [best_so_far] is always [None] on
+    exhaustion; the outcome still carries the trip reason and the
+    resources spent. *)

@@ -1,5 +1,32 @@
 exception Parse_error of string
 
+type position = { line : int; col : int }
+
+type error = { message : string; position : position; token : string option }
+
+let error_to_string e =
+  Printf.sprintf "line %d, column %d: %s%s" e.position.line e.position.col
+    e.message
+    (match e.token with None -> "" | Some t -> Printf.sprintf " (at %s)" t)
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* structured twin of [Parse_error], private to this module: the public
+   entry points either re-raise it as [Parse_error] (compat) or return
+   it through [parse_result] *)
+exception Error_internal of error
+
+let position_of_offset input off =
+  let off = min off (String.length input) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to off - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { line = !line; col = off - !bol + 1 }
+
 type token =
   | IDENT of string
   | LPAREN
@@ -46,13 +73,16 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
 
+(* every token carries the offset of its first character *)
 let lex input =
   let n = String.length input in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
   let i = ref 0 in
+  let emit_at off t = tokens := (t, off) :: !tokens in
   while !i < n do
     let c = input.[!i] in
+    let start = !i in
+    let emit t = emit_at start t in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if c = '(' then (emit LPAREN; incr i)
     else if c = ')' then (emit RPAREN; incr i)
@@ -69,7 +99,6 @@ let lex input =
     else if c = '<' && !i + 2 < n && input.[!i + 1] = '-' && input.[!i + 2] = '>'
     then (emit IFF; i := !i + 3)
     else if is_ident_char c then begin
-      let start = !i in
       while !i < n && is_ident_char input.[!i] do incr i done;
       let word = String.sub input start (!i - start) in
       match word with
@@ -84,26 +113,45 @@ let lex input =
       | w -> emit (IDENT w)
     end
     else
-      raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+      raise
+        (Error_internal
+           {
+             message = Printf.sprintf "unexpected character %C" c;
+             position = position_of_offset input !i;
+             token = Some (Printf.sprintf "%C" c);
+           })
   done;
-  emit EOF;
+  emit_at n EOF;
   List.rev !tokens
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * int) list; input : string }
 
-let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let peek st = match st.toks with [] -> EOF | (t, _) :: _ -> t
+
+let peek_offset st =
+  match st.toks with [] -> String.length st.input | (_, off) :: _ -> off
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* every syntax error points at the token the parser was looking at *)
+let fail st message =
+  let got = peek st in
+  raise
+    (Error_internal
+       {
+         message;
+         position = position_of_offset st.input (peek_offset st);
+         token = Some (token_to_string got);
+       })
 
 let expect st t =
   let got = peek st in
   if got = t then advance st
   else
-    raise
-      (Parse_error
-         (Printf.sprintf "expected %s but found %s" (token_to_string t)
-            (token_to_string got)))
+    fail st
+      (Printf.sprintf "expected %s but found %s" (token_to_string t)
+         (token_to_string got))
 
 let expect_ident st =
   match peek st with
@@ -111,10 +159,9 @@ let expect_ident st =
       advance st;
       x
   | got ->
-      raise
-        (Parse_error
-           (Printf.sprintf "expected an identifier but found %s"
-              (token_to_string got)))
+      fail st
+        (Printf.sprintf "expected an identifier but found %s"
+           (token_to_string got))
 
 let rec parse_formula st = parse_iff st
 
@@ -171,19 +218,18 @@ and parse_unary st =
       let t =
         match peek st with
         | IDENT n -> (
-            advance st;
             match int_of_string_opt n with
-            | Some t when t >= 0 -> t
+            | Some t when t >= 0 ->
+                advance st;
+                t
             | _ ->
-                raise
-                  (Parse_error
-                     (Printf.sprintf
-                        "atleast needs a non-negative threshold, got %S" n)))
+                fail st
+                  (Printf.sprintf
+                     "atleast needs a non-negative threshold, got %S" n))
         | got ->
-            raise
-              (Parse_error
-                 (Printf.sprintf "atleast needs a threshold but found %s"
-                    (token_to_string got)))
+            fail st
+              (Printf.sprintf "atleast needs a threshold but found %s"
+                 (token_to_string got))
       in
       let x = expect_ident st in
       expect st DOT;
@@ -200,8 +246,7 @@ and parse_unary st =
         | _ -> List.rev acc
       in
       let xs = idents [] in
-      if xs = [] then
-        raise (Parse_error "quantifier must bind at least one variable");
+      if xs = [] then fail st "quantifier must bind at least one variable";
       expect st DOT;
       let body = parse_formula st in
       if quant = EXISTS then Formula.exists_many xs body
@@ -240,34 +285,40 @@ and parse_primary st =
                 let b = expect_ident st in
                 if name = "E" then Formula.edge a b
                 else
-                  raise
-                    (Parse_error
-                       (Printf.sprintf
-                          "binary predicate %S is not part of the vocabulary"
-                          name))
+                  fail st
+                    (Printf.sprintf
+                       "binary predicate %S is not part of the vocabulary"
+                       name)
             | _ ->
                 if name = "E" then
-                  raise (Parse_error "edge predicate E needs two arguments")
+                  fail st "edge predicate E needs two arguments"
                 else Formula.color name a
           in
           expect st RPAREN;
           f
       | got ->
-          raise
-            (Parse_error
-               (Printf.sprintf
-                  "identifier %S must begin an atom; found %s instead" name
-                  (token_to_string got))))
+          fail st
+            (Printf.sprintf
+               "identifier %S must begin an atom; found %s instead" name
+               (token_to_string got)))
   | got ->
-      raise
-        (Parse_error
-           (Printf.sprintf "expected a formula but found %s"
-              (token_to_string got)))
+      fail st
+        (Printf.sprintf "expected a formula but found %s" (token_to_string got))
+
+let parse_result input =
+  match
+    let st = { toks = lex input; input } in
+    let f = parse_formula st in
+    expect st EOF;
+    f
+  with
+  | f -> Ok f
+  | exception Error_internal e -> Error e
 
 let parse input =
-  let st = { toks = lex input } in
-  let f = parse_formula st in
-  expect st EOF;
-  f
+  match parse_result input with
+  | Ok f -> f
+  | Error e -> raise (Parse_error (error_to_string e))
 
-let parse_opt input = try Some (parse input) with Parse_error _ -> None
+let parse_opt input =
+  match parse_result input with Ok f -> Some f | Error _ -> None

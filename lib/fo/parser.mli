@@ -20,7 +20,25 @@
     Quantifier bodies extend as far right as possible. *)
 
 exception Parse_error of string
-(** Raised with a human-readable message pointing at the offending token. *)
+(** Raised with a human-readable message — ["line L, column C: ...
+    (at <token>)"] — pointing at the offending token. *)
+
+type position = { line : int; col : int }
+(** 1-based source position. *)
+
+type error = {
+  message : string;  (** what went wrong *)
+  position : position;  (** where (first character of the bad token) *)
+  token : string option;  (** the offending token, printable form *)
+}
+
+val error_to_string : error -> string
+(** ["line L, column C: <message> (at <token>)"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_result : string -> (Formula.t, error) result
+(** Structured-error parse: never raises on malformed input. *)
 
 val parse : string -> Formula.t
 (** @raise Parse_error on malformed input. *)

@@ -1,0 +1,297 @@
+type checkpoint =
+  | Solver_loop
+  | Hintikka_build
+  | Bfs_frontier
+  | Catalogue_growth
+  | Eval_step
+
+type reason =
+  | Out_of_fuel
+  | Deadline
+  | Table_cap
+  | Ball_cap
+  | Catalogue_cap
+  | Injected_fault
+
+let checkpoint_to_string = function
+  | Solver_loop -> "solver_loop"
+  | Hintikka_build -> "hintikka_build"
+  | Bfs_frontier -> "bfs_frontier"
+  | Catalogue_growth -> "catalogue_growth"
+  | Eval_step -> "eval_step"
+
+let reason_to_string = function
+  | Out_of_fuel -> "out_of_fuel"
+  | Deadline -> "deadline"
+  | Table_cap -> "table_cap"
+  | Ball_cap -> "ball_cap"
+  | Catalogue_cap -> "catalogue_cap"
+  | Injected_fault -> "injected_fault"
+
+let all_checkpoints =
+  [ Solver_loop; Hintikka_build; Bfs_frontier; Catalogue_growth; Eval_step ]
+
+let checkpoint_index = function
+  | Solver_loop -> 0
+  | Hintikka_build -> 1
+  | Bfs_frontier -> 2
+  | Catalogue_growth -> 3
+  | Eval_step -> 4
+
+type spent = {
+  fuel : int;
+  elapsed_ns : int64;
+  table_rows : int;
+  ball_peak : int;
+  catalogue_entries : int;
+}
+
+let spent_to_json s =
+  Obs.Json.Obj
+    [
+      ("fuel", Obs.Json.Int s.fuel);
+      ("elapsed_ns", Obs.Json.Float (Int64.to_float s.elapsed_ns));
+      ("table_rows", Obs.Json.Int s.table_rows);
+      ("ball_peak", Obs.Json.Int s.ball_peak);
+      ("catalogue_entries", Obs.Json.Int s.catalogue_entries);
+    ]
+
+module Faults = struct
+  (* A plan is a pure predicate over (checkpoint class, 1-based hit
+     count), so a failing run replays exactly. *)
+  type t = checkpoint -> int -> bool
+
+  let none _ _ = false
+  let trip_at cp ~n cp' n' = cp = cp' && n = n'
+
+  (* SplitMix-style finaliser: decorrelates (seed, checkpoint, count)
+     without any mutable state. *)
+  let mix seed cp n =
+    let z = seed lxor ((checkpoint_index cp + 1) * 0x9e3779b9) lxor (n * 0x85ebca6b) in
+    let z = (z lxor (z lsr 16)) * 0x45d9f3b land max_int in
+    let z = (z lxor (z lsr 16)) * 0x45d9f3b land max_int in
+    z lxor (z lsr 16)
+
+  let seeded ~seed ~rate cp n =
+    rate > 0.
+    && float_of_int (mix seed cp n land 0xFFFFFF) /. 16777216. < rate
+
+  let any plans cp n = List.exists (fun p -> p cp n) plans
+  let fires (t : t) cp n = t cp n
+end
+
+(* The live state behind an installed budget.  [hits] counts per
+   checkpoint class (for fault plans); [fuel_used] is the total. *)
+type state = {
+  fuel_limit : int option;
+  deadline_ns : int64 option;  (* absolute, on the obs monotonic clock *)
+  max_table : int option;
+  max_ball : int option;
+  max_catalogue : int option;
+  faults : Faults.t;
+  born_ns : int64;
+  mutable fuel_used : int;
+  mutable table_rows : int;
+  mutable ball_peak : int;
+  mutable catalogue_entries : int;
+  mutable clock_stride : int;  (* countdown to the next deadline check *)
+  mutable tripped : (reason * checkpoint) option;
+  hits : int array;  (* per checkpoint class *)
+}
+
+module Budget = struct
+  type t = state
+
+  let make ?fuel ?timeout_s ?max_table ?max_ball ?max_catalogue
+      ?(faults = Faults.none) () =
+    let born_ns = Obs.Clock.now_ns () in
+    let deadline_ns =
+      Option.map
+        (fun s -> Int64.add born_ns (Int64.of_float (s *. 1e9)))
+        timeout_s
+    in
+    {
+      fuel_limit = fuel;
+      deadline_ns;
+      max_table;
+      max_ball;
+      max_catalogue;
+      faults;
+      born_ns;
+      fuel_used = 0;
+      table_rows = 0;
+      ball_peak = 0;
+      catalogue_entries = 0;
+      clock_stride = 0;
+      tripped = None;
+      hits = Array.make 5 0;
+    }
+
+  let unlimited () = make ()
+
+  let spent t =
+    {
+      fuel = t.fuel_used;
+      elapsed_ns = Int64.sub (Obs.Clock.now_ns ()) t.born_ns;
+      table_rows = t.table_rows;
+      ball_peak = t.ball_peak;
+      catalogue_entries = t.catalogue_entries;
+    }
+
+  let tripped t = t.tripped
+
+  let for_stage t =
+    {
+      t with
+      fuel_used = 0;
+      table_rows = 0;
+      ball_peak = 0;
+      catalogue_entries = 0;
+      clock_stride = 0;
+      tripped = None;
+      hits = Array.make 5 0;
+    }
+end
+
+(* The one exception of the subsystem.  It is not exported: the only
+   handler is [run], so exhaustion cannot escape to callers. *)
+exception Exhausted_internal
+
+let current : state option ref = ref None
+let active () = Option.is_some !current
+
+(* How many ticks between wall-clock reads.  A clock read is a
+   syscall-order cost; 32 checkpoints of real solver work dwarf it. *)
+let deadline_stride = 32
+
+let exhausted_total = Obs.Metric.counter "guard.exhausted"
+
+let exhausted_counter reason =
+  Obs.Metric.counter ("guard.exhausted." ^ reason_to_string reason)
+
+let trip st reason cp =
+  st.tripped <- Some (reason, cp);
+  raise Exhausted_internal
+
+let check_deadline st cp =
+  match st.deadline_ns with
+  | None -> ()
+  | Some deadline ->
+      if st.clock_stride <= 0 then begin
+        st.clock_stride <- deadline_stride;
+        if Int64.compare (Obs.Clock.now_ns ()) deadline >= 0 then
+          trip st Deadline cp
+      end
+      else st.clock_stride <- st.clock_stride - 1
+
+let tick_st st cost cp =
+  st.fuel_used <- st.fuel_used + cost;
+  let i = checkpoint_index cp in
+  st.hits.(i) <- st.hits.(i) + 1;
+  if Faults.fires st.faults cp st.hits.(i) then trip st Injected_fault cp;
+  (match st.fuel_limit with
+  | Some limit when st.fuel_used > limit -> trip st Out_of_fuel cp
+  | _ -> ());
+  check_deadline st cp
+
+let tick ?(cost = 1) cp =
+  match !current with None -> () | Some st -> tick_st st cost cp
+
+let note_table_row rows =
+  match !current with
+  | None -> ()
+  | Some st ->
+      if rows > st.table_rows then st.table_rows <- rows;
+      (match st.max_table with
+      | Some cap when rows > cap -> trip st Table_cap Hintikka_build
+      | _ -> ());
+      tick_st st 1 Hintikka_build
+
+let note_ball size =
+  match !current with
+  | None -> ()
+  | Some st ->
+      if size > st.ball_peak then st.ball_peak <- size;
+      (match st.max_ball with
+      | Some cap when size > cap -> trip st Ball_cap Bfs_frontier
+      | _ -> ());
+      tick_st st 1 Bfs_frontier
+
+let note_catalogue entries =
+  match !current with
+  | None -> ()
+  | Some st ->
+      if entries > st.catalogue_entries then st.catalogue_entries <- entries;
+      (match st.max_catalogue with
+      | Some cap when entries > cap -> trip st Catalogue_cap Catalogue_growth
+      | _ -> ());
+      tick_st st 1 Catalogue_growth
+
+type 'a outcome =
+  | Complete of 'a
+  | Exhausted of {
+      best_so_far : 'a option;
+      reason : reason;
+      checkpoint : checkpoint;
+      spent : spent;
+    }
+
+let run ?budget ~salvage f =
+  match budget with
+  | None -> Complete (f ())
+  | Some b ->
+      let prev = !current in
+      current := Some b;
+      let restore () = current := prev in
+      let result =
+        try Ok (f ())
+        with
+        | Exhausted_internal -> Error ()
+        | e ->
+            restore ();
+            raise e
+      in
+      (match result with
+      | Ok v ->
+          restore ();
+          Complete v
+      | Error () ->
+          let reason, checkpoint =
+            match b.tripped with
+            | Some rc -> rc
+            | None -> (Out_of_fuel, Solver_loop)
+            (* unreachable: only [trip] raises, and it records first *)
+          in
+          (* Salvage runs with no budget installed, so materialising
+             the best-so-far answer cannot itself trip. *)
+          current := None;
+          let best =
+            match salvage () with
+            | b -> b
+            | exception _ -> None
+          in
+          restore ();
+          Obs.Metric.incr exhausted_total;
+          Obs.Metric.incr (exhausted_counter reason);
+          Exhausted { best_so_far = best; reason; checkpoint; spent = Budget.spent b })
+
+let outcome_map f = function
+  | Complete v -> Complete (f v)
+  | Exhausted e -> Exhausted { e with best_so_far = Option.map f e.best_so_far }
+
+let outcome_value = function
+  | Complete v -> Some v
+  | Exhausted { best_so_far; _ } -> best_so_far
+
+let pp_outcome pp_v ppf = function
+  | Complete v -> Format.fprintf ppf "@[<2>Complete@ %a@]" pp_v v
+  | Exhausted { best_so_far; reason; checkpoint; spent } ->
+      Format.fprintf ppf
+        "@[<2>Exhausted@ { reason = %s;@ checkpoint = %s;@ fuel = %d;@ best = %a }@]"
+        (reason_to_string reason)
+        (checkpoint_to_string checkpoint)
+        spent.fuel
+        (Format.pp_print_option
+           ~none:(fun ppf () -> Format.pp_print_string ppf "<none>")
+           pp_v)
+        best_so_far

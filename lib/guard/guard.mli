@@ -1,0 +1,187 @@
+(** Cooperative resource governance for the learning pipeline.
+
+    Every headline object of the paper is galactic: Gaifman radii grow
+    like [7^q], hypothesis catalogues are towers in [Phi(q,k,l)], and
+    the hardness reduction leans on Ramsey numbers.  Any user-supplied
+    [q]/[k] beyond toy scale therefore sends the enumerate-and-check
+    solvers into effectively unbounded work.  This module bounds that
+    work {e cooperatively}: long-running loops call {!tick} (or one of
+    the [note_*] observers) at their checkpoints, and an ambient
+    {!Budget.t} — fuel, a wall-clock deadline on the obs monotonic
+    clock, and size caps — decides when to stop them.
+
+    Exhaustion never escapes as an exception.  The only way to install
+    a budget is {!run}, which converts the internal stop signal into a
+    structured {!outcome}: [Complete v] when the computation finished,
+    or [Exhausted] carrying the best answer salvaged so far, the
+    {!reason} and {!checkpoint} of the trip, and the resources
+    {!type-spent}.
+
+    Cost discipline matches [Obs.Sink]: with no budget installed a
+    {!tick} is one load and one branch.  Deadline checks amortise the
+    clock syscall over a stride of ticks.
+
+    A deterministic fault-injection harness ({!Faults}) can force a
+    trip at any checkpoint, so tests can exercise every degradation
+    path without constructing a galactic instance. *)
+
+(** {1 Checkpoints and reasons} *)
+
+(** Where in the pipeline a budget check happens.  Each long-running
+    loop declares which class it belongs to; fault plans target these
+    classes. *)
+type checkpoint =
+  | Solver_loop  (** candidate enumeration in the [Erm_*] solvers and
+                     the decision nodes of [Reduction.model_check] *)
+  | Hintikka_build  (** type computation ([Types.tp]/[ltp]) and
+                        Hintikka-formula construction *)
+  | Bfs_frontier  (** vertex dequeues in [Cgraph.Bfs] traversals *)
+  | Catalogue_growth  (** formulas added to a hypothesis catalogue *)
+  | Eval_step  (** quantifier nodes in [Modelcheck.Eval] *)
+
+(** Why a budget tripped. *)
+type reason =
+  | Out_of_fuel  (** the fuel allowance ran out *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Table_cap  (** too many Hintikka-table rows *)
+  | Ball_cap  (** a neighbourhood ball grew past the cap *)
+  | Catalogue_cap  (** the catalogue grew past the cap *)
+  | Injected_fault  (** a {!Faults} plan fired *)
+
+val checkpoint_to_string : checkpoint -> string
+val reason_to_string : reason -> string
+val all_checkpoints : checkpoint list
+
+(** Resources consumed at the moment the budget was read. *)
+type spent = {
+  fuel : int;  (** checkpoints passed *)
+  elapsed_ns : int64;  (** wall-clock time since the budget was made *)
+  table_rows : int;  (** peak Hintikka-table rows observed *)
+  ball_peak : int;  (** largest neighbourhood ball observed *)
+  catalogue_entries : int;  (** peak catalogue size observed *)
+}
+
+val spent_to_json : spent -> Obs.Json.t
+
+(** {1 Fault injection} *)
+
+(** Deterministic fault plans.  A plan decides, from the checkpoint
+    class and the number of times that class has been hit, whether to
+    force a trip ([Injected_fault]).  Plans are pure, so a failing run
+    replays exactly. *)
+module Faults : sig
+  type t
+
+  val none : t
+
+  val trip_at : checkpoint -> n:int -> t
+  (** [trip_at cp ~n] fires on the [n]-th hit (1-based) of checkpoint
+      class [cp], and never elsewhere. *)
+
+  val seeded : seed:int -> rate:float -> t
+  (** [seeded ~seed ~rate] fires pseudo-randomly with probability
+      [rate] per hit, deterministically in [seed], the checkpoint
+      class, and the hit count. *)
+
+  val any : t list -> t
+  (** Fires whenever any constituent plan fires. *)
+
+  val fires : t -> checkpoint -> int -> bool
+  (** [fires t cp n] — does plan [t] fire on the [n]-th hit of [cp]?
+      (1-based; exposed for tests.) *)
+end
+
+(** {1 Budgets} *)
+
+module Budget : sig
+  type t
+
+  val make :
+    ?fuel:int ->
+    ?timeout_s:float ->
+    ?max_table:int ->
+    ?max_ball:int ->
+    ?max_catalogue:int ->
+    ?faults:Faults.t ->
+    unit ->
+    t
+  (** Omitted limits are unlimited.  The deadline is absolute: it is
+      [timeout_s] from the moment [make] is called, on the obs
+      monotonic clock. *)
+
+  val unlimited : unit -> t
+  (** No limits — useful to account {!type-spent} without bounding. *)
+
+  val spent : t -> spent
+
+  val tripped : t -> (reason * checkpoint) option
+  (** [Some _] once the budget has stopped a computation. *)
+
+  val for_stage : t -> t
+  (** A fresh budget for a fallback stage: same limits and fault plan,
+      fresh fuel/cap counters, but the {e same absolute deadline} — a
+      degradation chain shares one wall clock. *)
+end
+
+(** {1 Checkpoint API (called by instrumented code)} *)
+
+val active : unit -> bool
+(** Is a budget currently installed?  One load and one branch. *)
+
+val tick : ?cost:int -> checkpoint -> unit
+(** Pass a checkpoint, consuming [cost] fuel (default 1).  No-op when
+    no budget is installed.  When the installed budget is out of fuel,
+    past its deadline, or the fault plan fires, control unwinds to the
+    enclosing {!run} — never past it. *)
+
+val note_table_row : int -> unit
+(** Report the current Hintikka-table row count; trips [Table_cap]
+    when it exceeds the budget's [max_table].  Also a
+    [Hintikka_build] tick. *)
+
+val note_ball : int -> unit
+(** Report a neighbourhood-ball size; trips [Ball_cap] above
+    [max_ball].  Also a [Bfs_frontier] tick. *)
+
+val note_catalogue : int -> unit
+(** Report the catalogue size; trips [Catalogue_cap] above
+    [max_catalogue].  Also a [Catalogue_growth] tick. *)
+
+(** {1 Running under a budget} *)
+
+(** Result of a governed computation. *)
+type 'a outcome =
+  | Complete of 'a
+  | Exhausted of {
+      best_so_far : 'a option;
+          (** what the salvage hook recovered — for ERM solvers, the
+              best hypothesis seen with its empirical error (still a
+              sound hypothesis under agnostic semantics, only without
+              the min-error certificate) *)
+      reason : reason;
+      checkpoint : checkpoint;
+      spent : spent;
+    }
+
+val run : ?budget:Budget.t -> salvage:(unit -> 'a option) -> (unit -> 'a) -> 'a outcome
+(** [run ?budget ~salvage f] evaluates [f ()] with [budget] installed.
+
+    - With no [budget], this is transparent: [Complete (f ())].  (An
+      ambient budget installed by an enclosing [run] keeps governing.)
+    - On completion, returns [Complete v].
+    - On exhaustion, calls [salvage ()] {e with the budget
+      uninstalled} (so salvaging cannot itself trip), records an obs
+      exhaustion counter, and returns [Exhausted].
+
+    Budgets nest: during [f], the previous ambient budget is shadowed
+    and restored on exit.  Exceptions other than the internal stop
+    signal propagate unchanged. *)
+
+val outcome_map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+val outcome_value : 'a outcome -> 'a option
+(** [Complete v] and [Exhausted {best_so_far = Some v; _}] both yield
+    [Some v]. *)
+
+val pp_outcome :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit

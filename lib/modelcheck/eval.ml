@@ -33,6 +33,7 @@ let rec eval g env (f : Fo.Formula.t) =
   | Iff (a, b) -> eval g env a = eval g env b
   | Exists (x, body) ->
       Obs.Metric.incr quantifier_nodes;
+      Guard.tick Guard.Eval_step;
       let n = Graph.order g in
       let rec try_from v =
         v < n && (eval g (VMap.add x v env) body || try_from (v + 1))
@@ -40,6 +41,7 @@ let rec eval g env (f : Fo.Formula.t) =
       try_from 0
   | Forall (x, body) ->
       Obs.Metric.incr quantifier_nodes;
+      Guard.tick Guard.Eval_step;
       let n = Graph.order g in
       let rec all_from v =
         v >= n || (eval g (VMap.add x v env) body && all_from (v + 1))
@@ -47,6 +49,7 @@ let rec eval g env (f : Fo.Formula.t) =
       all_from 0
   | CountGe (t, x, body) ->
       Obs.Metric.incr quantifier_nodes;
+      Guard.tick Guard.Eval_step;
       let n = Graph.order g in
       let rec count_from v found =
         found >= t

@@ -36,6 +36,7 @@ let atomic_formula ~colors (sg : Types.atomsig) vars =
 let of_type ~colors theta =
   Obs.Metric.incr formulas_built;
   let rec go theta vars =
+    Guard.tick Guard.Hintikka_build;
     let sg, children = Types.node theta in
     let atomic = atomic_formula ~colors sg vars in
     match children with

@@ -100,6 +100,9 @@ let rec tp ctx ~q u =
       t
   | None ->
       Obs.Metric.incr tp_misses;
+      (* Every memo miss is a fresh table row: the natural unit for
+         the guard's Hintikka-table budget. *)
+      Guard.note_table_row (Hashtbl.length ctx.tp_memo + 1);
       let sg = atomic_signature ctx.g u in
       let t =
         if q = 0 then intern (sg, None) 0
@@ -128,6 +131,7 @@ let ltp ctx ~q ~r u =
       t
   | None ->
       Obs.Metric.incr ltp_misses;
+      Guard.tick Guard.Hintikka_build;
       let emb = Ops.neighborhood ctx.g ~r u in
       let u' =
         Array.map

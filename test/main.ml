@@ -20,4 +20,5 @@ let () =
       ("mso", Test_mso.suite);
       ("trees", Test_trees.suite);
       ("obs", Test_obs.suite);
+      ("guard", Test_guard.suite);
     ]

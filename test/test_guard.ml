@@ -1,0 +1,318 @@
+(* Tests for the resource-governance layer (folearn.guard):
+   - a qcheck transparency property: a Complete outcome under a budget
+     is bit-for-bit the unbudgeted result,
+   - the fault matrix: a deterministic injected trip at every
+     checkpoint class, through a real entry point of that class, never
+     escapes as an exception and labels the outcome consistently,
+   - the degradation chain (local -> brute at shrinking rank),
+   - saturating Ramsey arithmetic (the satellite fix), and
+   - parser errors with line/column positions (the satellite fix). *)
+
+open Cgraph
+module Sam = Folearn.Sample
+module Brute = Folearn.Erm_brute
+module Local = Folearn.Erm_local
+module Hyp = Folearn.Hypothesis
+module R = Folearn.Ramsey
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample_on g ~k centre =
+  Sam.label_with g
+    ~target:(fun v -> Bfs.dist g v.(0) centre <= 1)
+    (Sam.all_tuples g ~k)
+
+let reason = Alcotest.testable (Fmt.of_to_string Guard.reason_to_string) ( = )
+
+let checkpoint =
+  Alcotest.testable (Fmt.of_to_string Guard.checkpoint_to_string) ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Transparency: Complete under budget = unbudgeted                    *)
+(* ------------------------------------------------------------------ *)
+
+let transparency_prop =
+  QCheck.Test.make ~count:30
+    ~name:"generous budget: Complete result equals unbudgeted solve"
+    QCheck.(triple (int_range 4 10) (int_range 0 1) (int_range 0 1))
+    (fun (n, ell, q) ->
+      let g = Gen.random_tree ~seed:n n in
+      let lam = sample_on g ~k:1 (n / 2) in
+      let plain = Brute.solve g ~k:1 ~ell ~q lam in
+      match
+        Brute.solve_budgeted
+          ~budget:(Guard.Budget.make ~fuel:max_int ())
+          g ~k:1 ~ell ~q lam
+      with
+      | Guard.Complete r ->
+          r.Brute.err = plain.Brute.err
+          && r.Brute.params_tried = plain.Brute.params_tried
+          && Hyp.signature r.Brute.hypothesis
+             = Hyp.signature plain.Brute.hypothesis
+      | Guard.Exhausted _ -> false)
+
+let transparency_no_budget () =
+  (* run with no budget at all: Guard.run must be the identity *)
+  match Guard.run ~salvage:(fun () -> None) (fun () -> 42) with
+  | Guard.Complete v -> check_int "value" 42 v
+  | Guard.Exhausted _ -> Alcotest.fail "exhausted without a budget"
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix: one injected trip per checkpoint class                *)
+(* ------------------------------------------------------------------ *)
+
+(* Each driver routes through a real entry point whose loops tick the
+   targeted class.  Returns the (reason, checkpoint) of the trip. *)
+let drive_fault cp =
+  let budget () =
+    Guard.Budget.make ~faults:(Guard.Faults.trip_at cp ~n:1) ()
+  in
+  let g = Gen.random_tree ~seed:5 12 in
+  let lam = sample_on g ~k:1 6 in
+  match cp with
+  | Guard.Solver_loop | Guard.Hintikka_build -> (
+      match Brute.solve_budgeted ~budget:(budget ()) g ~k:1 ~ell:1 ~q:1 lam with
+      | Guard.Complete _ -> None
+      | Guard.Exhausted { reason; checkpoint; _ } -> Some (reason, checkpoint))
+  | Guard.Bfs_frontier -> (
+      match Local.solve_budgeted ~budget:(budget ()) g ~k:1 ~ell:1 ~q:1 lam with
+      | Guard.Complete _ -> None
+      | Guard.Exhausted { reason; checkpoint; _ } -> Some (reason, checkpoint))
+  | Guard.Catalogue_growth -> (
+      match
+        Folearn.Catalogue.of_local_types_budgeted ~budget:(budget ()) g ~ell:1
+          ~q:1 ~r:1 ()
+      with
+      | Guard.Complete _ -> None
+      | Guard.Exhausted { reason; checkpoint; _ } -> Some (reason, checkpoint))
+  | Guard.Eval_step -> (
+      let phi = Fo.Parser.parse "forall x. exists y. E(x, y)" in
+      match
+        Guard.run ~budget:(budget ())
+          ~salvage:(fun () -> None)
+          (fun () -> Modelcheck.Eval.sentence g phi)
+      with
+      | Guard.Complete _ -> None
+      | Guard.Exhausted { reason; checkpoint; _ } -> Some (reason, checkpoint))
+
+let test_fault_matrix () =
+  List.iter
+    (fun cp ->
+      match drive_fault cp with
+      | None ->
+          Alcotest.failf "fault at %s never fired"
+            (Guard.checkpoint_to_string cp)
+      | Some (r, at) ->
+          Alcotest.check reason
+            (Guard.checkpoint_to_string cp ^ " reason")
+            Guard.Injected_fault r;
+          Alcotest.check checkpoint
+            (Guard.checkpoint_to_string cp ^ " checkpoint")
+            cp at)
+    Guard.all_checkpoints
+
+let test_fault_no_leak () =
+  (* a trip mid-solve must not leave an ambient budget installed *)
+  let g = Gen.path 8 in
+  let lam = sample_on g ~k:1 4 in
+  let _ =
+    Brute.solve_budgeted
+      ~budget:
+        (Guard.Budget.make ~faults:(Guard.Faults.trip_at Solver_loop ~n:1) ())
+      g ~k:1 ~ell:0 ~q:1 lam
+  in
+  check "no ambient budget after exhaustion" false (Guard.active ())
+
+let test_salvage_err_is_true_error () =
+  (* the salvaged best-so-far must carry its genuine empirical error *)
+  let g = Gen.random_tree ~seed:9 14 in
+  let lam = sample_on g ~k:1 7 in
+  match
+    Brute.solve_budgeted
+      ~budget:
+        (Guard.Budget.make ~faults:(Guard.Faults.trip_at Solver_loop ~n:10) ())
+      g ~k:1 ~ell:1 ~q:1 lam
+  with
+  | Guard.Complete _ -> Alcotest.fail "expected exhaustion"
+  | Guard.Exhausted { best_so_far = None; _ } ->
+      Alcotest.fail "9 candidates in, something must have been salvaged"
+  | Guard.Exhausted { best_so_far = Some r; _ } ->
+      Alcotest.(check (float 1e-9))
+        "salvaged err recomputes" r.Brute.err
+        (Hyp.training_error r.Brute.hypothesis lam)
+
+let test_fuel_and_deadline () =
+  let g = Gen.random_tree ~seed:3 16 in
+  let lam = sample_on g ~k:1 8 in
+  (match
+     Brute.solve_budgeted ~budget:(Guard.Budget.make ~fuel:5 ()) g ~k:1 ~ell:1
+       ~q:1 lam
+   with
+  | Guard.Complete _ -> Alcotest.fail "5 fuel cannot finish"
+  | Guard.Exhausted { reason = r; _ } ->
+      Alcotest.check reason "fuel" Guard.Out_of_fuel r);
+  match
+    Brute.solve_budgeted
+      ~budget:(Guard.Budget.make ~timeout_s:0.0 ())
+      g ~k:1 ~ell:1 ~q:1 lam
+  with
+  | Guard.Complete _ -> Alcotest.fail "a zero deadline cannot finish"
+  | Guard.Exhausted { reason = r; _ } ->
+      Alcotest.check reason "deadline" Guard.Deadline r
+
+let test_seeded_faults_deterministic () =
+  let p = Guard.Faults.seeded ~seed:7 ~rate:0.5 in
+  let q = Guard.Faults.seeded ~seed:7 ~rate:0.5 in
+  let fired plan =
+    List.concat_map
+      (fun cp -> List.init 50 (fun n -> Guard.Faults.fires plan cp (n + 1)))
+      Guard.all_checkpoints
+  in
+  check "same seed, same plan" true (fired p = fired q);
+  check "rate 0 never fires" true
+    (List.for_all not (fired (Guard.Faults.seeded ~seed:3 ~rate:0.0)));
+  check "rate 1 always fires" true
+    (List.for_all Fun.id (fired (Guard.Faults.seeded ~seed:3 ~rate:1.0)));
+  (* ~half the hits at rate 0.5, very loosely *)
+  let hits = List.length (List.filter Fun.id (fired p)) in
+  check "rate 0.5 is neither never nor always" true (hits > 50 && hits < 200)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation chain                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_degrade_unbudgeted_is_local () =
+  let g = Gen.random_tree ~seed:11 14 in
+  let lam = sample_on g ~k:1 7 in
+  let plain = Local.solve g ~k:1 ~ell:1 ~q:1 lam in
+  match Folearn.Degrade.learn g ~k:1 ~ell:1 ~q:1 lam with
+  | Guard.Complete l ->
+      check "not degraded" false l.Folearn.Degrade.degraded;
+      Alcotest.(check (float 1e-9))
+        "same err" plain.Local.err l.Folearn.Degrade.err
+  | Guard.Exhausted _ -> Alcotest.fail "no budget, cannot exhaust"
+
+let test_degrade_falls_back () =
+  let g = Gen.random_tree ~seed:11 18 in
+  let lam = sample_on g ~k:1 9 in
+  match
+    Folearn.Degrade.learn ~budget:(Guard.Budget.make ~fuel:2_000 ()) g ~k:1
+      ~ell:1 ~q:2 lam
+  with
+  | Guard.Complete l ->
+      check "fallback stage answered" true l.Folearn.Degrade.degraded;
+      check "rank strictly dropped" true (l.Folearn.Degrade.q_used < 2);
+      check "solver is brute" true (l.Folearn.Degrade.solver = "brute");
+      check "attempts recorded" true (l.Folearn.Degrade.attempts <> []);
+      Alcotest.(check (float 1e-9))
+        "err recomputes" l.Folearn.Degrade.err
+        (Hyp.training_error l.Folearn.Degrade.hypothesis lam)
+  | Guard.Exhausted _ ->
+      Alcotest.fail "2000 fuel finishes brute at rank 0 on 18 vertices"
+
+let test_degrade_total_exhaustion () =
+  let g = Gen.random_tree ~seed:11 18 in
+  let lam = sample_on g ~k:1 9 in
+  match
+    Folearn.Degrade.learn ~budget:(Guard.Budget.make ~fuel:1 ()) g ~k:1 ~ell:1
+      ~q:2 lam
+  with
+  | Guard.Complete _ -> Alcotest.fail "1 fuel per stage cannot finish"
+  | Guard.Exhausted { reason = r; spent; _ } ->
+      Alcotest.check reason "out of fuel" Guard.Out_of_fuel r;
+      (* aggregated spend covers all four stages (q=2,1,0 + local) *)
+      check "aggregate fuel over stages" true (spent.Guard.fuel >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Saturating Ramsey arithmetic                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ramsey_saturates () =
+  check "30 colours saturate" true
+    (R.triangle_bound_sat ~colors:30 = R.Saturated);
+  check "factorial 30 saturates" true (R.factorial_sat 30 = R.Saturated);
+  (match R.triangle_bound_sat ~colors:3 with
+  | R.Finite v -> check_int "R_3(3) bound" 17 v
+  | R.Saturated -> Alcotest.fail "3 colours are finite");
+  check "sat agrees with exn API" true
+    (R.ramsey_upper_sat ~colors:2 ~clique:3 = R.Finite (R.ramsey_upper ~colors:2 ~clique:3));
+  Alcotest.check_raises "exn API still raises on overflow"
+    (Invalid_argument "Ramsey.triangle_bound: overflow") (fun () ->
+      ignore (R.triangle_bound ~colors:30));
+  Alcotest.check_raises "factorial raises on overflow"
+    (Invalid_argument "Ramsey.factorial: overflow") (fun () ->
+      ignore (R.factorial 30))
+
+let saturation_never_negative =
+  QCheck.Test.make ~count:200
+    ~name:"saturating bounds are Saturated or genuinely non-negative"
+    QCheck.(pair (int_range 1 30) (int_range 1 3))
+    (fun (colors, clique) ->
+      (match R.triangle_bound_sat ~colors with
+      | R.Finite v -> v >= 0
+      | R.Saturated -> true)
+      &&
+      match R.ramsey_upper_sat ~colors ~clique with
+      | R.Finite v -> v >= 1
+      | R.Saturated -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser positions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser_positions () =
+  (match Fo.Parser.parse_result "exists x.\n  E(x," with
+  | Ok _ -> Alcotest.fail "malformed input parsed"
+  | Error e ->
+      check_int "line" 2 e.Fo.Parser.position.Fo.Parser.line;
+      check_int "col" 7 e.Fo.Parser.position.Fo.Parser.col;
+      check "token named" true (e.Fo.Parser.token <> None));
+  (match Fo.Parser.parse_result "E(x, y) /\\ ?" with
+  | Ok _ -> Alcotest.fail "malformed input parsed"
+  | Error e ->
+      check_int "line" 1 e.Fo.Parser.position.Fo.Parser.line;
+      check_int "col" 12 e.Fo.Parser.position.Fo.Parser.col);
+  match Fo.Parser.parse_result "forall x. exists y. E(x, y)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Fo.Parser.error_to_string e)
+
+let test_parser_error_message_has_position () =
+  try
+    ignore (Fo.Parser.parse "exists . true");
+    Alcotest.fail "malformed input parsed"
+  with Fo.Parser.Parse_error m ->
+    check "message carries line/column" true
+      (String.length m >= 16 && String.sub m 0 16 = "line 1, column 8")
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest transparency_prop;
+    Alcotest.test_case "run without budget is transparent" `Quick
+      transparency_no_budget;
+    Alcotest.test_case "fault matrix covers every checkpoint class" `Quick
+      test_fault_matrix;
+    Alcotest.test_case "exhaustion uninstalls the ambient budget" `Quick
+      test_fault_no_leak;
+    Alcotest.test_case "salvaged hypothesis carries its true error" `Quick
+      test_salvage_err_is_true_error;
+    Alcotest.test_case "fuel and deadline exhaustion reasons" `Quick
+      test_fuel_and_deadline;
+    Alcotest.test_case "seeded fault plans are deterministic" `Quick
+      test_seeded_faults_deterministic;
+    Alcotest.test_case "degrade without budget = Erm_local" `Quick
+      test_degrade_unbudgeted_is_local;
+    Alcotest.test_case "degrade falls back to brute at smaller rank" `Quick
+      test_degrade_falls_back;
+    Alcotest.test_case "degrade aggregates spend on total exhaustion" `Quick
+      test_degrade_total_exhaustion;
+    Alcotest.test_case "Ramsey bounds saturate instead of wrapping" `Quick
+      test_ramsey_saturates;
+    QCheck_alcotest.to_alcotest saturation_never_negative;
+    Alcotest.test_case "parse errors carry line/column positions" `Quick
+      test_parser_positions;
+    Alcotest.test_case "Parse_error message embeds the position" `Quick
+      test_parser_error_message_has_position;
+  ]
