@@ -84,6 +84,7 @@ let run_instrumented name f =
       ([
          ("experiment", jstr name);
          ("schema_version", jint bench_schema_version);
+         ("jobs", jint (Par.jobs ()));
          ("wall_time_s", jfloat wall);
          ( "model_check_calls",
            jint (Obs.Metric.find_counter snap "modelcheck.eval.calls") );
@@ -873,6 +874,74 @@ let e15 () =
      bottom only a best-so-far salvage or a clean exhaustion remains.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E16: deterministic domain parallelism - speedup vs jobs             *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  header "E16  parallel ERM: speedup vs jobs (bit-identical hypotheses)";
+  (* Two workloads: brute-force ERM (candidate-parallel) and the
+     preprocessing index build (vertex-parallel).  jobs = 1 runs first
+     so the global intern tables are warm; every later level must then
+     reproduce its hypotheses and class assignments bit for bit. *)
+  let g_erm = Gen.gnp ~seed:7 ~n:36 ~p:0.15 in
+  let lam =
+    Sam.label_with g_erm ~target:(fun v -> Bfs.dist g_erm v.(0) 18 <= 1)
+      (Sam.all_tuples g_erm ~k:1)
+  in
+  let g_idx = Gen.random_bounded_degree ~seed:9 ~n:1500 ~d:3 in
+  let levels = [ 1; 2; 4 ] in
+  row "%-10s %5s %10s %9s %10s %9s %10s\n" "workload" "jobs" "time (s)"
+    "speedup" "err" "match" "classes";
+  let baseline = ref None in
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs in
+      let erm, t_erm =
+        time (fun () -> Brute.solve ~pool g_erm ~k:1 ~ell:1 ~q:2 lam)
+      in
+      let idx, t_idx =
+        time (fun () -> Folearn.Preindex.build ~pool g_idx ~q:1 ~r:2)
+      in
+      Par.Pool.shutdown pool;
+      let classes =
+        List.init (Graph.order g_idx) (Folearn.Preindex.vertex_class idx)
+      in
+      let here =
+        ( Folearn.Hypothesis.signature erm.Brute.hypothesis,
+          erm.Brute.err, classes )
+      in
+      let t1_erm, t1_idx, agree =
+        match !baseline with
+        | None ->
+            baseline := Some (t_erm, t_idx, here);
+            (t_erm, t_idx, true)
+        | Some (a, b, first) -> (a, b, first = here)
+      in
+      let emit workload t speedup =
+        add_row
+          [
+            ("workload", jstr workload);
+            ("jobs", jint jobs);
+            ("time_s", jfloat t);
+            ("speedup", jfloat speedup);
+            ("identical", Obs.Json.Bool agree);
+          ]
+      in
+      emit "erm_brute" t_erm (t1_erm /. t_erm);
+      emit "preindex" t_idx (t1_idx /. t_idx);
+      row "%-10s %5d %10.3f %9.2f %10.3f %9b %10s\n" "erm_brute" jobs t_erm
+        (t1_erm /. t_erm) erm.Brute.err agree "-";
+      row "%-10s %5d %10.3f %9.2f %10s %9b %10d\n" "preindex" jobs t_idx
+        (t1_idx /. t_idx) "-" agree
+        (Folearn.Preindex.class_count idx))
+    levels;
+  row
+    "shape check: hypotheses, errors and class assignments are identical \
+     at every jobs level; speedup approaches the worker count on \
+     multi-core hosts and stays ~1 (never a large slowdown) when the \
+     machine has a single core.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1037,14 +1106,28 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("micro", micro); ("overhead", overhead);
+    ("e16", e16); ("micro", micro); ("overhead", overhead);
   ]
 
 let () =
+  (* --jobs N sets the default worker-pool size for every experiment
+     (E16 additionally sweeps its own explicit pools) *)
+  let args =
+    let rec strip = function
+      | "--jobs" :: n :: rest ->
+          (match int_of_string_opt n with
+          | Some j when j >= 1 -> Par.set_jobs j
+          | _ ->
+              Printf.eprintf "bench: --jobs expects an integer >= 1, got %S\n" n;
+              exit 2);
+          strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match args with _ :: _ as names -> names | [] -> List.map fst experiments
   in
   let t0 = Obs.Clock.now_ns () in
   List.iter

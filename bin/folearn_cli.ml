@@ -198,6 +198,27 @@ let max_ball_arg =
     & info [ "max-ball" ] ~docv:"VERTICES"
         ~doc:"Cap on the size of any neighbourhood ball.")
 
+(* parallelism: --jobs on the compute-heavy subcommands.  The flag
+   overrides the FOLEARN_JOBS environment variable; with neither given
+   everything runs on one domain and the sequential code paths are
+   taken unchanged. *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "FOLEARN_JOBS")
+        ~doc:
+          "Worker domains for the parallel solver paths (default 1). \
+           Results are bit-identical to a sequential run.")
+
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Par.set_jobs n
+  | Some n ->
+      Format.eprintf "folearn: --jobs must be >= 1 (got %d)@." n;
+      exit 2
+
 let budget_of ~fuel ~timeout ~max_table ~max_ball =
   if fuel = None && timeout = None && max_table = None && max_ball = None then
     None
@@ -270,7 +291,8 @@ let learn_cmd =
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let run g colors target k ell q solver tmax noise m seed fuel timeout
-      max_table max_ball trace stats stats_json =
+      max_table max_ball jobs trace stats stats_json =
+    apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let target = parse_formula_or_exit ~cmd:"learn" ~flag:"--target" target in
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
@@ -415,8 +437,8 @@ let learn_cmd =
     Term.(
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
       $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ fuel_arg
-      $ timeout_arg $ max_table_arg $ max_ball_arg $ trace_arg $ stats_arg
-      $ stats_json_arg)
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ trace_arg
+      $ stats_arg $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
@@ -439,8 +461,9 @@ let mc_cmd =
       & info [ "via-erm" ]
           ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
   in
-  let run g colors phi via_erm fuel timeout max_table max_ball trace stats
+  let run g colors phi via_erm fuel timeout max_table max_ball jobs trace stats
       stats_json =
+    apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let phi = parse_formula_or_exit ~cmd:"mc" ~flag:"--formula" phi in
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
@@ -481,8 +504,8 @@ let mc_cmd =
     (Cmd.info "mc" ~doc:"First-order model checking (direct or via Theorem 1).")
     Term.(
       const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg $ fuel_arg
-      $ timeout_arg $ max_table_arg $ max_ball_arg $ trace_arg $ stats_arg
-      $ stats_json_arg)
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ trace_arg
+      $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* types                                                               *)
@@ -496,8 +519,9 @@ let types_cmd =
       value & flag
       & info [ "hintikka" ] ~doc:"Also print one Hintikka formula per class.")
   in
-  let run g colors q k hintikka fuel timeout max_table max_ball trace stats
-      stats_json =
+  let run g colors q k hintikka fuel timeout max_table max_ball jobs trace
+      stats stats_json =
+    apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
@@ -531,8 +555,8 @@ let types_cmd =
     (Cmd.info "types" ~doc:"Print the q-type partition of the graph.")
     Term.(
       const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg
-      $ fuel_arg $ timeout_arg $ max_table_arg $ max_ball_arg $ trace_arg
-      $ stats_arg $ stats_json_arg)
+      $ fuel_arg $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg
+      $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game                                                                *)
@@ -540,7 +564,9 @@ let types_cmd =
 
 let game_cmd =
   let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~doc:"Game radius.") in
-  let run g colors r fuel timeout max_table max_ball trace stats stats_json =
+  let run g colors r fuel timeout max_table max_ball jobs trace stats
+      stats_json =
+    apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
@@ -573,7 +599,8 @@ let game_cmd =
     (Cmd.info "game" ~doc:"Play out the (r, s)-splitter game.")
     Term.(
       const run $ graph_arg $ colors_arg $ r_arg $ fuel_arg $ timeout_arg
-      $ max_table_arg $ max_ball_arg $ trace_arg $ stats_arg $ stats_json_arg)
+      $ max_table_arg $ max_ball_arg $ jobs_arg $ trace_arg $ stats_arg
+      $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)

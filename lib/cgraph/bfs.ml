@@ -51,10 +51,13 @@ let distances_multi g srcs =
 let distances g src = distances_multi g [ src ]
 
 let dist g u v =
-  (* early-exit BFS from the lower-degree endpoint *)
+  (* early-exit BFS from the lower-degree endpoint: the distance is
+     symmetric, and the search frontier grows with the degree of the
+     start vertex, so explore outward from the sparser side *)
   if u = v then 0
   else begin
     Obs.Metric.incr bfs_calls;
+    let u, v = if Graph.degree g u <= Graph.degree g v then (u, v) else (v, u) in
     let n = Graph.order g in
     let dist_arr = Array.make n infinity in
     let queue = Queue.create () in

@@ -233,4 +233,26 @@ module Tuple = struct
         done
     in
     go 0
+
+  let count ~n ~k =
+    if k < 0 then invalid_arg "Tuple.count: negative arity";
+    if n <= 0 then Some (if k = 0 then 1 else 0)
+    else begin
+      let rec go acc i =
+        if i = 0 then Some acc
+        else if acc > max_int / n then None
+        else go (acc * n) (i - 1)
+      in
+      go 1 k
+    end
+
+  let of_index ~n ~k i =
+    if k < 0 then invalid_arg "Tuple.of_index: negative arity";
+    let t = Array.make k 0 in
+    let rem = ref i in
+    for j = k - 1 downto 0 do
+      t.(j) <- !rem mod n;
+      rem := !rem / n
+    done;
+    t
 end

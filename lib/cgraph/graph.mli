@@ -115,4 +115,14 @@ module Tuple : sig
       same lexicographic order as {!all}, without materialising the
       list — so a resource budget can interrupt the enumeration
       part-way.  Each call receives a fresh array. *)
+
+  val count : n:int -> k:int -> int option
+  (** [Some (n^k)], or [None] if [n^k] overflows [int].  The domain of
+      {!of_index}. *)
+
+  val of_index : n:int -> k:int -> int -> t
+  (** [of_index ~n ~k i] is the [i]-th tuple of the {!all} /
+      {!iter_all} enumeration ([0 <= i < n^k], unchecked) — random
+      access into the lexicographic order, so a chunked parallel sweep
+      enumerates exactly the sequential candidate order. *)
 end

@@ -52,16 +52,41 @@ let solve_for_params_ctx ctx g ~k ~q ~params lam =
 let solve_for_params g ~k ~q ~params lam =
   solve_for_params_ctx (Types.make_ctx g) g ~k ~q ~params lam
 
-let finish g ~k ~q lam ~tried best =
-  match best with
-  | Some (params, chosen, errs) ->
+(* The candidate store shared between the solver body and the salvage
+   hook of [solve_budgeted].  [best] carries the candidate's index in
+   the enumeration order: the winner is the lexicographic minimum of
+   (errors, index), which is exactly the sequential first-best rule and
+   — being a minimum — is independent of the order in which parallel
+   chunks merge into it. *)
+type progress = {
+  tried : int ref;
+  best : (int * Graph.Tuple.t * Types.ty list * int) option ref;
+      (* (candidate index, params, chosen types, errors) *)
+  merge : Mutex.t;
+}
+
+let fresh_progress () =
+  { tried = ref 0; best = ref None; merge = Mutex.create () }
+
+(* [(errs, idx)]-lex merge; assumes [st.merge] is held (or the run is
+   sequential). *)
+let consider st idx params chosen errs =
+  match !(st.best) with
+  | Some (bidx, _, _, berrs)
+    when berrs < errs || (berrs = errs && bidx <= idx) ->
+      ()
+  | _ -> st.best := Some (idx, params, chosen, errs)
+
+let finish g ~k ~q lam st =
+  match !(st.best) with
+  | Some (_, params, chosen, errs) ->
       {
         hypothesis = Hypothesis.of_types g ~k ~q ~types:chosen ~params;
         err =
           (match lam with
           | [] -> 0.0
           | _ -> float_of_int errs /. float_of_int (Sample.size lam));
-        params_tried = tried;
+        params_tried = !(st.tried);
       }
   | None ->
       (* ell >= 1 on the empty graph: H is empty unless there are no
@@ -69,51 +94,89 @@ let finish g ~k ~q lam ~tried best =
       {
         hypothesis = Hypothesis.constantly g ~k false;
         err = Sample.error_of (fun _ -> false) lam;
-        params_tried = tried;
+        params_tried = !(st.tried);
       }
 
 (* The enumeration core, shared by [solve] and [solve_budgeted].  It
    streams candidate tuples (no materialised [n^ell] list) so an
    ambient budget can interrupt it at any checkpoint, and keeps the
-   best candidate in [best] so the budgeted entry can salvage it. *)
-let solve_body g ~k ~ell ~q lam ~tried ~best =
+   best candidate in [st] so the budgeted entry can salvage it.
+
+   With a pool of size > 1 the candidate range is swept in chunks, one
+   [Types] context per chunk (the memo tables are not shared between
+   domains); each finished chunk merges its local (errs, idx)-best into
+   [st] under [st.merge], so the final — and any salvaged — winner is
+   the same candidate the sequential sweep keeps. *)
+let solve_body ?pool g ~k ~ell ~q lam st =
   Analysis.Guard.require ~what:"Erm_brute.solve"
     (Analysis.Guard.budgets ~ell ~q ~k ());
   check_arity ~k lam;
-  let ctx = Types.make_ctx g in
-  Graph.Tuple.iter_all ~n:(Graph.order g) ~k:ell (fun params ->
-      Guard.tick Guard.Solver_loop;
-      incr tried;
-      Obs.Metric.incr hypotheses_enumerated;
-      Obs.Metric.incr consistency_checks;
-      let chosen, errs = majority_types ctx ~q ~params lam in
-      match !best with
-      | Some (_, _, best_errs) when best_errs <= errs -> ()
-      | _ -> best := Some (params, chosen, errs));
-  finish g ~k ~q lam ~tried:!tried !best
+  let n = Graph.order g in
+  let pool = match pool with Some p -> p | None -> Par.default () in
+  let total = Graph.Tuple.count ~n ~k:ell in
+  match total with
+  | Some total when Par.Pool.size pool > 1 && total > 1 ->
+      Par.map_reduce_chunks pool ~n:total
+        ~map:(fun lo hi ->
+          let ctx = Types.make_ctx g in
+          let local = ref None in
+          for i = lo to hi - 1 do
+            Guard.tick Guard.Solver_loop;
+            Obs.Metric.incr hypotheses_enumerated;
+            Obs.Metric.incr consistency_checks;
+            let params = Graph.Tuple.of_index ~n ~k:ell i in
+            let chosen, errs = majority_types ctx ~q ~params lam in
+            match !local with
+            | Some (_, _, _, best_errs) when best_errs <= errs -> ()
+            | _ -> local := Some (i, params, chosen, errs)
+          done;
+          (* merge as soon as the chunk completes so a later budget trip
+             can still salvage it *)
+          Mutex.lock st.merge;
+          st.tried := !(st.tried) + (hi - lo);
+          (match !local with
+          | Some (i, params, chosen, errs) -> consider st i params chosen errs
+          | None -> ());
+          Mutex.unlock st.merge)
+        ~reduce:(fun () () -> ())
+        ~init:() ();
+      finish g ~k ~q lam st
+  | _ ->
+      (* sequential sweep (also the fallback if n^ell overflows int) *)
+      let ctx = Types.make_ctx g in
+      let idx = ref 0 in
+      Graph.Tuple.iter_all ~n ~k:ell (fun params ->
+          Guard.tick Guard.Solver_loop;
+          incr st.tried;
+          Obs.Metric.incr hypotheses_enumerated;
+          Obs.Metric.incr consistency_checks;
+          let chosen, errs = majority_types ctx ~q ~params lam in
+          consider st !idx params chosen errs;
+          incr idx);
+      finish g ~k ~q lam st
 
-let solve g ~k ~ell ~q lam =
+let solve ?pool g ~k ~ell ~q lam =
   Obs.Span.with_ "erm_brute.solve"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q) ]
   @@ fun () ->
-  solve_body g ~k ~ell ~q lam ~tried:(ref 0) ~best:(ref None)
+  solve_body ?pool g ~k ~ell ~q lam (fresh_progress ())
 
-let solve_budgeted ?budget g ~k ~ell ~q lam =
+let solve_budgeted ?budget ?pool g ~k ~ell ~q lam =
   Obs.Span.with_ "erm_brute.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q) ]
   @@ fun () ->
-  let tried = ref 0 and best = ref None in
+  let st = fresh_progress () in
   Guard.run ?budget
     ~salvage:(fun () ->
       (* Only salvage if at least one candidate finished evaluating;
          the constant fallback would not be "best seen so far". *)
-      match !best with
+      match !(st.best) with
       | None -> None
-      | Some _ -> Some (finish g ~k ~q lam ~tried:!tried !best))
-    (fun () -> solve_body g ~k ~ell ~q lam ~tried ~best)
+      | Some _ -> Some (finish g ~k ~q lam st))
+    (fun () -> solve_body ?pool g ~k ~ell ~q lam st)
 
 let optimal_error g ~k ~ell ~q lam = (solve g ~k ~ell ~q lam).err

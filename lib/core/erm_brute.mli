@@ -21,13 +21,18 @@ type result = {
   params_tried : int;  (** [n^ℓ], for the complexity experiments *)
 }
 
-val solve : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result
+val solve :
+  ?pool:Par.Pool.t -> Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result
 (** Exact ERM.  Cost [O(n^ℓ · m)] type computations of rank [q] on
-    [(k+ℓ)]-tuples.
+    [(k+ℓ)]-tuples.  [pool] (default {!Par.default}) sweeps the [n^ℓ]
+    candidate tuples in parallel chunks; the result is bit-identical to
+    the sequential sweep — the winner is the (errors, candidate index)
+    lexicographic minimum either way.
     @raise Invalid_argument if an example has arity other than [k]. *)
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?pool:Par.Pool.t ->
   Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
 (** {!solve} under a resource budget.  [Complete r] is exactly the
     unbudgeted result; on exhaustion, [best_so_far] is the best

@@ -34,9 +34,27 @@ let majority ctx ~q ~tmax ~params lam =
       if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
     votes ([], 0)
 
-let finish g ~k ~q ~tmax lam ~tried best =
-  match best with
-  | Some (params, chosen, errs) ->
+(* Candidate store shared with the salvage hook; see [Erm_brute] for
+   the (errors, index)-lex determinism argument. *)
+type progress = {
+  tried : int ref;
+  best : (int * Graph.Tuple.t * C.ty list * int) option ref;
+  merge : Mutex.t;
+}
+
+let fresh_progress () =
+  { tried = ref 0; best = ref None; merge = Mutex.create () }
+
+let consider st idx params chosen errs =
+  match !(st.best) with
+  | Some (bidx, _, _, berrs)
+    when berrs < errs || (berrs = errs && bidx <= idx) ->
+      ()
+  | _ -> st.best := Some (idx, params, chosen, errs)
+
+let finish g ~k ~q ~tmax lam st =
+  match !(st.best) with
+  | Some (_, params, chosen, errs) ->
       {
         hypothesis =
           Hypothesis.of_counting_types g ~k ~q ~tmax ~types:chosen ~params;
@@ -44,51 +62,80 @@ let finish g ~k ~q ~tmax lam ~tried best =
           (match lam with
           | [] -> 0.0
           | _ -> float_of_int errs /. float_of_int (Sample.size lam));
-        params_tried = tried;
+        params_tried = !(st.tried);
       }
   | None ->
       {
         hypothesis = Hypothesis.constantly g ~k false;
         err = Sample.error_of (fun _ -> false) lam;
-        params_tried = tried;
+        params_tried = !(st.tried);
       }
 
-let solve_body g ~k ~ell ~q ~tmax lam ~tried ~best =
+let solve_body ?pool g ~k ~ell ~q ~tmax lam st =
   Analysis.Guard.require ~what:"Erm_counting.solve"
     (Analysis.Guard.budgets ~ell ~q ~tmax ~k ());
   check_arity ~k lam;
-  let ctx = C.make_ctx g in
-  Graph.Tuple.iter_all ~n:(Graph.order g) ~k:ell (fun params ->
-      Guard.tick Guard.Solver_loop;
-      incr tried;
-      Obs.Metric.incr hypotheses_enumerated;
-      Obs.Metric.incr consistency_checks;
-      let chosen, errs = majority ctx ~q ~tmax ~params lam in
-      match !best with
-      | Some (_, _, best_errs) when best_errs <= errs -> ()
-      | _ -> best := Some (params, chosen, errs));
-  finish g ~k ~q ~tmax lam ~tried:!tried !best
+  let n = Graph.order g in
+  let pool = match pool with Some p -> p | None -> Par.default () in
+  let total = Graph.Tuple.count ~n ~k:ell in
+  match total with
+  | Some total when Par.Pool.size pool > 1 && total > 1 ->
+      Par.map_reduce_chunks pool ~n:total
+        ~map:(fun lo hi ->
+          let ctx = C.make_ctx g in
+          let local = ref None in
+          for i = lo to hi - 1 do
+            Guard.tick Guard.Solver_loop;
+            Obs.Metric.incr hypotheses_enumerated;
+            Obs.Metric.incr consistency_checks;
+            let params = Graph.Tuple.of_index ~n ~k:ell i in
+            let chosen, errs = majority ctx ~q ~tmax ~params lam in
+            match !local with
+            | Some (_, _, _, best_errs) when best_errs <= errs -> ()
+            | _ -> local := Some (i, params, chosen, errs)
+          done;
+          Mutex.lock st.merge;
+          st.tried := !(st.tried) + (hi - lo);
+          (match !local with
+          | Some (i, params, chosen, errs) -> consider st i params chosen errs
+          | None -> ());
+          Mutex.unlock st.merge)
+        ~reduce:(fun () () -> ())
+        ~init:() ();
+      finish g ~k ~q ~tmax lam st
+  | _ ->
+      let ctx = C.make_ctx g in
+      let idx = ref 0 in
+      Graph.Tuple.iter_all ~n ~k:ell (fun params ->
+          Guard.tick Guard.Solver_loop;
+          incr st.tried;
+          Obs.Metric.incr hypotheses_enumerated;
+          Obs.Metric.incr consistency_checks;
+          let chosen, errs = majority ctx ~q ~tmax ~params lam in
+          consider st !idx params chosen errs;
+          incr idx);
+      finish g ~k ~q ~tmax lam st
 
-let solve g ~k ~ell ~q ~tmax lam =
+let solve ?pool g ~k ~ell ~q ~tmax lam =
   Obs.Span.with_ "erm_counting.solve"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q); ("tmax", string_of_int tmax) ]
   @@ fun () ->
-  solve_body g ~k ~ell ~q ~tmax lam ~tried:(ref 0) ~best:(ref None)
+  solve_body ?pool g ~k ~ell ~q ~tmax lam (fresh_progress ())
 
-let solve_budgeted ?budget g ~k ~ell ~q ~tmax lam =
+let solve_budgeted ?budget ?pool g ~k ~ell ~q ~tmax lam =
   Obs.Span.with_ "erm_counting.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q); ("tmax", string_of_int tmax) ]
   @@ fun () ->
-  let tried = ref 0 and best = ref None in
+  let st = fresh_progress () in
   Guard.run ?budget
     ~salvage:(fun () ->
-      match !best with
+      match !(st.best) with
       | None -> None
-      | Some _ -> Some (finish g ~k ~q ~tmax lam ~tried:!tried !best))
-    (fun () -> solve_body g ~k ~ell ~q ~tmax lam ~tried ~best)
+      | Some _ -> Some (finish g ~k ~q ~tmax lam st))
+    (fun () -> solve_body ?pool g ~k ~ell ~q ~tmax lam st)
 
 let optimal_error g ~k ~ell ~q ~tmax lam = (solve g ~k ~ell ~q ~tmax lam).err

@@ -22,12 +22,16 @@ type result = {
 }
 
 val solve :
+  ?pool:Par.Pool.t ->
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t -> result
-(** Exact counting ERM.
+(** Exact counting ERM.  [pool] (default {!Par.default}) parallelises
+    the candidate sweep with results bit-identical to sequential; see
+    {!Erm_brute.solve}.
     @raise Invalid_argument on arity mismatch or [tmax < 1]. *)
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?pool:Par.Pool.t ->
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t ->
   result Guard.outcome
 (** {!solve} under a resource budget; see {!Erm_brute.solve_budgeted}

@@ -44,22 +44,51 @@ let rec iter_tuples pool j f =
     iter_tuples pool (j - 1) (fun rest ->
         List.iter (fun p -> f (p :: rest)) pool)
 
+(* random access into the [iter_tuples] order: the head varies fastest,
+   so position [d] of tuple [i] is digit [d] of [i] base |pool| *)
+let tuple_of_index pool_arr j i =
+  let p = Array.length pool_arr in
+  let t = Array.make j 0 in
+  let rem = ref i in
+  for d = 0 to j - 1 do
+    t.(d) <- pool_arr.(!rem mod p);
+    rem := !rem / p
+  done;
+  t
+
 (* mutable progress shared between the solver body and the salvage
-   hook of [solve_budgeted] *)
+   hook of [solve_budgeted].  [best] carries the global candidate index
+   (counting through j = 0, 1, ... in enumeration order): the winner is
+   the (errors, index) lexicographic minimum, which both the sequential
+   sweep and the chunk-merge of the parallel sweep compute. *)
 type progress = {
   mutable pool_size : int;
   mutable vertices_touched : int;
   mutable tried : int;
-  mutable best : (Graph.Tuple.t * Types.ty list * int) option;
+  mutable best : (int * Graph.Tuple.t * Types.ty list * int) option;
+  merge : Mutex.t;
 }
 
 let fresh_progress () =
-  { pool_size = 0; vertices_touched = 0; tried = 0; best = None }
+  {
+    pool_size = 0;
+    vertices_touched = 0;
+    tried = 0;
+    best = None;
+    merge = Mutex.create ();
+  }
+
+let consider st idx params chosen errs =
+  match st.best with
+  | Some (bidx, _, _, berrs)
+    when berrs < errs || (berrs = errs && bidx <= idx) ->
+      ()
+  | _ -> st.best <- Some (idx, params, chosen, errs)
 
 let finish g ~k ~q ~r lam st =
   let params, chosen, errs =
     match st.best with
-    | Some b -> b
+    | Some (_, params, chosen, errs) -> (params, chosen, errs)
     | None -> ([||], [], Sample.errors_of (fun _ -> false) lam)
   in
   {
@@ -73,50 +102,97 @@ let finish g ~k ~q ~r lam st =
     vertices_touched = st.vertices_touched;
   }
 
-let solve_body g ~k ~ell ~q ~r lam st =
+let solve_body ?pool:ppool g ~k ~ell ~q ~r lam st =
   Analysis.Guard.require ~what:"Erm_local.solve"
     (Analysis.Guard.budgets ~ell ~q ~radius:r ~k ()
     @ Analysis.Guard.sample_arity ~k (List.map fst lam));
+  let ppool = match ppool with Some p -> p | None -> Par.default () in
   let entries =
     List.sort_uniq compare
       (List.concat_map (fun (v, _) -> Array.to_list v) lam)
   in
-  (* candidate parameter pool: the (2r+1)-neighbourhood of the examples *)
-  let pool = Bfs.ball g ~r:((2 * r) + 1) entries in
+  (* the two multi-source balls are independent BFS sweeps — batch them
+     on the pool (a 2-task batch; inline when jobs = 1):
+     pool    = (2r+1)-neighbourhood of the examples (candidate params)
+     touched = (3r+2)-neighbourhood (everything the algorithm reads) *)
+  let balls =
+    Par.map_tasks ppool ~tasks:2 (fun i ->
+        if i = 0 then Bfs.ball g ~r:((2 * r) + 1) entries
+        else Bfs.ball g ~r:((3 * r) + 2) entries)
+  in
+  let pool = balls.(0) in
   st.pool_size <- List.length pool;
   if Obs.Sink.enabled () then
     Obs.Metric.observe pool_size_h (float_of_int st.pool_size);
-  (* everything the algorithm can touch: pool plus the radius-r balls
-     used by the local-type computations *)
-  let touched = Bfs.ball g ~r:((3 * r) + 2) entries in
-  st.vertices_touched <- List.length touched;
-  let ctx = Types.make_ctx g in
-  for j = 0 to ell do
-    iter_tuples pool j (fun params_list ->
-        Guard.tick Guard.Solver_loop;
-        st.tried <- st.tried + 1;
-        Obs.Metric.incr hypotheses_enumerated;
-        Obs.Metric.incr consistency_checks;
-        let params = Array.of_list params_list in
-        let chosen, errs = majority ctx ~q ~r ~params lam in
-        match st.best with
-        | Some (_, _, best_errs) when best_errs <= errs -> ()
-        | _ -> st.best <- Some (params, chosen, errs))
-  done;
+  st.vertices_touched <- List.length balls.(1);
+  if Par.Pool.size ppool <= 1 then begin
+    let ctx = Types.make_ctx g in
+    let idx = ref 0 in
+    for j = 0 to ell do
+      iter_tuples pool j (fun params_list ->
+          Guard.tick Guard.Solver_loop;
+          st.tried <- st.tried + 1;
+          Obs.Metric.incr hypotheses_enumerated;
+          Obs.Metric.incr consistency_checks;
+          let params = Array.of_list params_list in
+          let chosen, errs = majority ctx ~q ~r ~params lam in
+          consider st !idx params chosen errs;
+          incr idx)
+    done
+  end
+  else begin
+    (* parallel: sweep each tuple length j in candidate-order chunks;
+       [offset] numbers candidates globally across the j-levels *)
+    let pool_arr = Array.of_list pool in
+    let p = Array.length pool_arr in
+    let offset = ref 0 in
+    for j = 0 to ell do
+      match Graph.Tuple.count ~n:p ~k:j with
+      | None ->
+          invalid_arg "Erm_local.solve: candidate space exceeds max_int"
+      | Some total ->
+          let base = !offset in
+          Par.map_reduce_chunks ppool ~n:total
+            ~map:(fun lo hi ->
+              let ctx = Types.make_ctx g in
+              let local = ref None in
+              for i = lo to hi - 1 do
+                Guard.tick Guard.Solver_loop;
+                Obs.Metric.incr hypotheses_enumerated;
+                Obs.Metric.incr consistency_checks;
+                let params = tuple_of_index pool_arr j i in
+                let chosen, errs = majority ctx ~q ~r ~params lam in
+                match !local with
+                | Some (_, _, _, best_errs) when best_errs <= errs -> ()
+                | _ -> local := Some (base + i, params, chosen, errs)
+              done;
+              Mutex.lock st.merge;
+              st.tried <- st.tried + (hi - lo);
+              (match !local with
+              | Some (i, params, chosen, errs) ->
+                  consider st i params chosen errs
+              | None -> ());
+              Mutex.unlock st.merge)
+            ~reduce:(fun () () -> ())
+            ~init:() ();
+          offset := base + total
+    done
+  end;
   finish g ~k ~q ~r lam st
 
 let radius_for ?radius q =
   match radius with Some r -> r | None -> Fo.Gaifman.radius q
 
-let solve ?radius g ~k ~ell ~q lam =
+let solve ?pool ?radius g ~k ~ell ~q lam =
   Obs.Span.with_ "erm_local.solve"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q) ]
   @@ fun () ->
-  solve_body g ~k ~ell ~q ~r:(radius_for ?radius q) lam (fresh_progress ())
+  solve_body ?pool g ~k ~ell ~q ~r:(radius_for ?radius q) lam
+    (fresh_progress ())
 
-let solve_budgeted ?budget ?radius g ~k ~ell ~q lam =
+let solve_budgeted ?budget ?pool ?radius g ~k ~ell ~q lam =
   Obs.Span.with_ "erm_local.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
@@ -129,4 +205,4 @@ let solve_budgeted ?budget ?radius g ~k ~ell ~q lam =
       match st.best with
       | None -> None
       | Some _ -> Some (finish g ~k ~q ~r lam st))
-    (fun () -> solve_body g ~k ~ell ~q ~r lam st)
+    (fun () -> solve_body ?pool g ~k ~ell ~q ~r lam st)

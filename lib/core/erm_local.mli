@@ -32,6 +32,7 @@ type result = {
 }
 
 val solve :
+  ?pool:Par.Pool.t ->
   ?radius:int -> Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result
 (** [solve g ~k ~ell ~q lam].  [radius] defaults to
     [Fo.Gaifman.radius q].  The returned error satisfies: for {e every}
@@ -42,6 +43,7 @@ val solve :
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?pool:Par.Pool.t ->
   ?radius:int ->
   Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
 (** {!solve} under a resource budget.  [Complete r] is exactly the

@@ -200,12 +200,18 @@ let conflicts g ~q ~r lam =
    order) and the attendance table. *)
 let greedy_centres g ~r ~cap ~allowed ~critical =
   let attend : int list array = Array.make (Graph.order g) [] in
+  (* the per-tuple balls are independent BFS sweeps — batch them on the
+     default pool; the attendance table is then filled sequentially in
+     tuple order, so its contents (and everything greedy selection
+     derives from them) do not depend on the pool size *)
+  let balls =
+    Par.map_list (Par.default ())
+      (fun v -> Bfs.ball_tuple g ~r:((2 * r) + 1) v)
+      critical
+  in
   List.iteri
-    (fun ci v ->
-      List.iter
-        (fun u -> attend.(u) <- ci :: attend.(u))
-        (Bfs.ball_tuple g ~r:((2 * r) + 1) v))
-    critical;
+    (fun ci ball -> List.iter (fun u -> attend.(u) <- ci :: attend.(u)) ball)
+    balls;
   let order =
     List.filter (fun u -> allowed u && attend.(u) <> []) (Graph.vertices g)
     |> List.sort (fun a b ->
@@ -411,19 +417,22 @@ let solve_inner cfg g lam =
       let emb = Ops.induced sg ball in
       let a0 = emb.Ops.graph in
       let map_opt v = emb.Ops.to_sub v in
-      (* Step 1: distance colours D_{j,d} to the guessed centres y_j. *)
+      (* Step 1: distance colours D_{j,d} to the guessed centres y_j.
+         One full BFS per centre — batched on the default pool. *)
+      let y_dists =
+        Par.map_list (Par.default ()) (fun yj -> Bfs.distances sg yj) y
+      in
       let d_colors =
         List.concat
           (List.mapi
-             (fun j yj ->
-               let dist = Bfs.distances sg yj in
+             (fun j dist ->
                List.init (base + 1) (fun d ->
                    ( Printf.sprintf "_D%d_%d_%d" round j d,
                      List.filter_map
                        (fun v ->
                          if dist.(v) = d then map_opt v else None)
                        ball )))
-             y)
+             y_dists)
       in
       (* Steps 2-3: neighbourhood colours C_j, deletion markers B_j, and
          the edge deletions at Splitter's answers. *)

@@ -28,6 +28,7 @@ type result = {
 }
 
 val solve :
+  ?pool:Par.Pool.t ->
   Graph.t ->
   ell:int ->
   catalogue:Fo.Formula.t list ->
@@ -48,6 +49,7 @@ val consistent_extension :
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?pool:Par.Pool.t ->
   Graph.t ->
   ell:int ->
   catalogue:Fo.Formula.t list ->

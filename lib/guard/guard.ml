@@ -80,8 +80,13 @@ module Faults = struct
   let fires (t : t) cp n = t cp n
 end
 
-(* The live state behind an installed budget.  [hits] counts per
-   checkpoint class (for fault plans); [fuel_used] is the total. *)
+(* The live state behind an installed budget.  Counters are [Atomic]
+   so one budget can govern a whole [Par] pool: fuel and per-checkpoint
+   hit counts are shared fetch-and-add totals (a fault plan's n-th hit
+   happens exactly once regardless of which worker lands on it), peaks
+   are CAS-max cells, and [tripped] is a write-once cell — the first
+   tripping worker records (reason, checkpoint); every other worker
+   observes it at its next tick and unwinds cooperatively. *)
 type state = {
   fuel_limit : int option;
   deadline_ns : int64 option;  (* absolute, on the obs monotonic clock *)
@@ -90,13 +95,13 @@ type state = {
   max_catalogue : int option;
   faults : Faults.t;
   born_ns : int64;
-  mutable fuel_used : int;
-  mutable table_rows : int;
-  mutable ball_peak : int;
-  mutable catalogue_entries : int;
-  mutable clock_stride : int;  (* countdown to the next deadline check *)
-  mutable tripped : (reason * checkpoint) option;
-  hits : int array;  (* per checkpoint class *)
+  fuel_used : int Atomic.t;
+  table_rows : int Atomic.t;  (* peak *)
+  ball_peak : int Atomic.t;
+  catalogue_entries : int Atomic.t;  (* peak *)
+  clock_stride : int Atomic.t;  (* countdown to the next deadline check *)
+  tripped : (reason * checkpoint) option Atomic.t;
+  hits : int Atomic.t array;  (* per checkpoint class *)
 }
 
 module Budget = struct
@@ -118,38 +123,38 @@ module Budget = struct
       max_catalogue;
       faults;
       born_ns;
-      fuel_used = 0;
-      table_rows = 0;
-      ball_peak = 0;
-      catalogue_entries = 0;
-      clock_stride = 0;
-      tripped = None;
-      hits = Array.make 5 0;
+      fuel_used = Atomic.make 0;
+      table_rows = Atomic.make 0;
+      ball_peak = Atomic.make 0;
+      catalogue_entries = Atomic.make 0;
+      clock_stride = Atomic.make 0;
+      tripped = Atomic.make None;
+      hits = Array.init 5 (fun _ -> Atomic.make 0);
     }
 
   let unlimited () = make ()
 
   let spent t =
     {
-      fuel = t.fuel_used;
+      fuel = Atomic.get t.fuel_used;
       elapsed_ns = Int64.sub (Obs.Clock.now_ns ()) t.born_ns;
-      table_rows = t.table_rows;
-      ball_peak = t.ball_peak;
-      catalogue_entries = t.catalogue_entries;
+      table_rows = Atomic.get t.table_rows;
+      ball_peak = Atomic.get t.ball_peak;
+      catalogue_entries = Atomic.get t.catalogue_entries;
     }
 
-  let tripped t = t.tripped
+  let tripped t = Atomic.get t.tripped
 
   let for_stage t =
     {
       t with
-      fuel_used = 0;
-      table_rows = 0;
-      ball_peak = 0;
-      catalogue_entries = 0;
-      clock_stride = 0;
-      tripped = None;
-      hits = Array.make 5 0;
+      fuel_used = Atomic.make 0;
+      table_rows = Atomic.make 0;
+      ball_peak = Atomic.make 0;
+      catalogue_entries = Atomic.make 0;
+      clock_stride = Atomic.make 0;
+      tripped = Atomic.make None;
+      hits = Array.init 5 (fun _ -> Atomic.make 0);
     }
 end
 
@@ -157,8 +162,10 @@ end
    handler is [run], so exhaustion cannot escape to callers. *)
 exception Exhausted_internal
 
-let current : state option ref = ref None
-let active () = Option.is_some !current
+(* [Atomic] rather than a plain ref: pool workers read the installed
+   budget concurrently with the main domain (un)installing it. *)
+let current : state option Atomic.t = Atomic.make None
+let active () = Option.is_some (Atomic.get current)
 
 (* How many ticks between wall-clock reads.  A clock read is a
    syscall-order cost; 32 checkpoints of real solver work dwarf it. *)
@@ -170,58 +177,68 @@ let exhausted_counter reason =
   Obs.Metric.counter ("guard.exhausted." ^ reason_to_string reason)
 
 let trip st reason cp =
-  st.tripped <- Some (reason, cp);
+  (* write-once: under parallelism the first tripper wins, every later
+     (or concurrent) tripper just joins the unwind *)
+  ignore (Atomic.compare_and_set st.tripped None (Some (reason, cp)));
   raise Exhausted_internal
+
+(* CAS-max: lock-free peak tracking *)
+let rec store_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
 
 let check_deadline st cp =
   match st.deadline_ns with
   | None -> ()
   | Some deadline ->
-      if st.clock_stride <= 0 then begin
-        st.clock_stride <- deadline_stride;
+      (* racy stride decrements only jitter the check cadence *)
+      if Atomic.fetch_and_add st.clock_stride (-1) <= 0 then begin
+        Atomic.set st.clock_stride deadline_stride;
         if Int64.compare (Obs.Clock.now_ns ()) deadline >= 0 then
           trip st Deadline cp
       end
-      else st.clock_stride <- st.clock_stride - 1
 
 let tick_st st cost cp =
-  st.fuel_used <- st.fuel_used + cost;
+  (* cooperative cancellation: once any worker trips, every other
+     worker unwinds at its next checkpoint *)
+  if Option.is_some (Atomic.get st.tripped) then raise Exhausted_internal;
+  let fuel = Atomic.fetch_and_add st.fuel_used cost + cost in
   let i = checkpoint_index cp in
-  st.hits.(i) <- st.hits.(i) + 1;
-  if Faults.fires st.faults cp st.hits.(i) then trip st Injected_fault cp;
+  let hit = Atomic.fetch_and_add st.hits.(i) 1 + 1 in
+  if Faults.fires st.faults cp hit then trip st Injected_fault cp;
   (match st.fuel_limit with
-  | Some limit when st.fuel_used > limit -> trip st Out_of_fuel cp
+  | Some limit when fuel > limit -> trip st Out_of_fuel cp
   | _ -> ());
   check_deadline st cp
 
 let tick ?(cost = 1) cp =
-  match !current with None -> () | Some st -> tick_st st cost cp
+  match Atomic.get current with None -> () | Some st -> tick_st st cost cp
 
 let note_table_row rows =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some st ->
-      if rows > st.table_rows then st.table_rows <- rows;
+      store_max st.table_rows rows;
       (match st.max_table with
       | Some cap when rows > cap -> trip st Table_cap Hintikka_build
       | _ -> ());
       tick_st st 1 Hintikka_build
 
 let note_ball size =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some st ->
-      if size > st.ball_peak then st.ball_peak <- size;
+      store_max st.ball_peak size;
       (match st.max_ball with
       | Some cap when size > cap -> trip st Ball_cap Bfs_frontier
       | _ -> ());
       tick_st st 1 Bfs_frontier
 
 let note_catalogue entries =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some st ->
-      if entries > st.catalogue_entries then st.catalogue_entries <- entries;
+      store_max st.catalogue_entries entries;
       (match st.max_catalogue with
       | Some cap when entries > cap -> trip st Catalogue_cap Catalogue_growth
       | _ -> ());
@@ -240,9 +257,9 @@ let run ?budget ~salvage f =
   match budget with
   | None -> Complete (f ())
   | Some b ->
-      let prev = !current in
-      current := Some b;
-      let restore () = current := prev in
+      let prev = Atomic.get current in
+      Atomic.set current (Some b);
+      let restore () = Atomic.set current prev in
       let result =
         try Ok (f ())
         with
@@ -257,14 +274,14 @@ let run ?budget ~salvage f =
           Complete v
       | Error () ->
           let reason, checkpoint =
-            match b.tripped with
+            match Atomic.get b.tripped with
             | Some rc -> rc
             | None -> (Out_of_fuel, Solver_loop)
             (* unreachable: only [trip] raises, and it records first *)
           in
           (* Salvage runs with no budget installed, so materialising
              the best-so-far answer cannot itself trip. *)
-          current := None;
+          Atomic.set current None;
           let best =
             match salvage () with
             | b -> b

@@ -18,33 +18,47 @@ type entry = { key : key; entry_rank : int }
 let dummy_sig : Types.atomsig =
   { Types.sig_arity = 0; eqs = []; edgs = []; cols = [||] }
 
+(* Same domain-safety discipline as [Types]: mutex-guarded intern,
+   lock-free id -> entry reads through an atomically published array. *)
+
 let table : (key, ty) Hashtbl.t = Hashtbl.create 1024
-let entries : entry array ref =
-  ref (Array.make 512 { key = (dummy_sig, None); entry_rank = -1 })
+let table_mutex = Mutex.create ()
+let entries : entry array Atomic.t =
+  Atomic.make (Array.make 512 { key = (dummy_sig, None); entry_rank = -1 })
 let next_id = ref 0
 
 let intern key entry_rank =
-  match Hashtbl.find_opt table key with
-  | Some id -> id
-  | None ->
-      let id = !next_id in
-      incr next_id;
-      if id >= Array.length !entries then begin
-        let bigger = Array.make (2 * Array.length !entries) (!entries).(0) in
-        Array.blit !entries 0 bigger 0 (Array.length !entries);
-        entries := bigger
-      end;
-      (!entries).(id) <- { key; entry_rank };
-      Hashtbl.replace table key id;
-      id
+  Mutex.lock table_mutex;
+  let id =
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        let arr = Atomic.get entries in
+        let arr =
+          if id >= Array.length arr then begin
+            let bigger = Array.make (2 * Array.length arr) arr.(0) in
+            Array.blit arr 0 bigger 0 (Array.length arr);
+            bigger
+          end
+          else arr
+        in
+        arr.(id) <- { key; entry_rank };
+        Atomic.set entries arr;
+        Hashtbl.replace table key id;
+        id
+  in
+  Mutex.unlock table_mutex;
+  id
 
-let rank (t : ty) = (!entries).(t).entry_rank
+let rank (t : ty) = (Atomic.get entries).(t).entry_rank
 
 let arity (t : ty) =
-  let sg, _ = (!entries).(t).key in
+  let sg, _ = (Atomic.get entries).(t).key in
   sg.Types.sig_arity
 
-let node (t : ty) = (!entries).(t).key
+let node (t : ty) = (Atomic.get entries).(t).key
 
 (* ------------------------------------------------------------------ *)
 (* Computation                                                         *)

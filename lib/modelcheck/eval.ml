@@ -61,7 +61,17 @@ let rec eval g env (f : Fo.Formula.t) =
 
 let holds g env f =
   Obs.Metric.incr eval_calls;
-  let env = List.fold_left (fun m (x, v) -> VMap.add x v m) VMap.empty env in
+  (* A duplicate variable would silently resolve to the last binding
+     (map semantics), the opposite of the assoc-list semantics callers
+     expect — reject it instead of guessing. *)
+  let env =
+    List.fold_left
+      (fun m (x, v) ->
+        if VMap.mem x m then
+          invalid_arg ("Eval.holds: duplicate binding for variable " ^ x)
+        else VMap.add x v m)
+      VMap.empty env
+  in
   eval g env f
 
 let sentence g f = holds g [] f
@@ -71,18 +81,35 @@ let holds_tuple g ~vars t f =
     invalid_arg "Eval.holds_tuple: variable/tuple length mismatch";
   holds g (List.mapi (fun i x -> (x, t.(i))) vars) f
 
+(* Both enumerators stream the n^k assignments iteratively (same
+   lexicographic order as [Graph.Tuple.all]) instead of materialising
+   the tuple list up front: live memory is O(k + answers), not O(n^k),
+   and a Guard checkpoint inside [eval] can stop the sweep early. *)
+
 let answers g ~vars f =
   let n = Graph.order g in
-  let k = List.length vars in
-  List.filter
-    (fun t -> holds_tuple g ~vars t f)
-    (Graph.Tuple.all ~n ~k)
+  let vars_arr = Array.of_list vars in
+  let k = Array.length vars_arr in
+  let t = Array.make k 0 in
+  let acc = ref [] in
+  let rec go i env =
+    if i = k then begin
+      Obs.Metric.incr eval_calls;
+      if eval g env f then acc := Array.copy t :: !acc
+    end
+    else
+      for v = 0 to n - 1 do
+        t.(i) <- v;
+        go (i + 1) (VMap.add vars_arr.(i) v env)
+      done
+  in
+  go 0 VMap.empty;
+  List.rev !acc
 
 let count_answers g ~vars f =
   let n = Graph.order g in
   let vars_arr = Array.of_list vars in
   let k = Array.length vars_arr in
-  let t = Array.make k 0 in
   let count = ref 0 in
   let rec go i env =
     if i = k then begin
@@ -91,7 +118,6 @@ let count_answers g ~vars f =
     end
     else
       for v = 0 to n - 1 do
-        t.(i) <- v;
         go (i + 1) (VMap.add vars_arr.(i) v env)
       done
   in

@@ -23,34 +23,53 @@ type key = atomsig * ty list option
 
 type entry = { key : key; entry_rank : int }
 
+(* Domain-safety: [intern] (lookup + insert) is serialised by
+   [table_mutex] — a bare Hashtbl is not safe under concurrent resize.
+   The id -> entry direction is lock-free: [entries] is an [Atomic]
+   holding an immutable-once-published array.  A slot is written, then
+   the (possibly grown) array is published with [Atomic.set], and only
+   then is the id released to a caller via the mutex; any domain that
+   legitimately holds an id therefore reads a published array in which
+   that slot is filled. *)
+
 let table : (key, ty) Hashtbl.t = Hashtbl.create 4096
-let entries : entry array ref = ref (Array.make 1024 { key = ({ sig_arity = 0; eqs = []; edgs = []; cols = [||] }, None); entry_rank = -1 })
+let table_mutex = Mutex.create ()
+let entries : entry array Atomic.t =
+  Atomic.make (Array.make 1024 { key = ({ sig_arity = 0; eqs = []; edgs = []; cols = [||] }, None); entry_rank = -1 })
 let next_id = ref 0
 
 let intern key entry_rank =
-  match Hashtbl.find_opt table key with
-  | Some id -> id
-  | None ->
-      let id = !next_id in
-      incr next_id;
-      if id >= Array.length !entries then begin
-        let bigger =
-          Array.make (2 * Array.length !entries) (!entries).(0)
+  Mutex.lock table_mutex;
+  let id =
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        let arr = Atomic.get entries in
+        let arr =
+          if id >= Array.length arr then begin
+            let bigger = Array.make (2 * Array.length arr) arr.(0) in
+            Array.blit arr 0 bigger 0 (Array.length arr);
+            bigger
+          end
+          else arr
         in
-        Array.blit !entries 0 bigger 0 (Array.length !entries);
-        entries := bigger
-      end;
-      (!entries).(id) <- { key; entry_rank };
-      Hashtbl.replace table key id;
-      id
+        arr.(id) <- { key; entry_rank };
+        Atomic.set entries arr;
+        Hashtbl.replace table key id;
+        id
+  in
+  Mutex.unlock table_mutex;
+  id
 
-let rank (t : ty) = (!entries).(t).entry_rank
+let rank (t : ty) = (Atomic.get entries).(t).entry_rank
 
 let arity (t : ty) =
-  let sg, _ = (!entries).(t).key in
+  let sg, _ = (Atomic.get entries).(t).key in
   sg.sig_arity
 
-let node (t : ty) = (!entries).(t).key
+let node (t : ty) = (Atomic.get entries).(t).key
 
 (* ------------------------------------------------------------------ *)
 (* Atomic signatures                                                   *)

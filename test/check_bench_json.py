@@ -13,6 +13,7 @@ import sys
 HEADLINE = {
     "experiment": str,
     "schema_version": int,
+    "jobs": int,
     "wall_time_s": (int, float),
     "model_check_calls": int,
     "hypotheses_enumerated": int,
@@ -44,6 +45,8 @@ def check(path: str) -> None:
         fail(f"{path}: unknown schema_version {doc['schema_version']}")
     if doc["wall_time_s"] < 0:
         fail(f"{path}: negative wall_time_s")
+    if doc["jobs"] < 1:
+        fail(f"{path}: jobs must be >= 1")
     for section in METRIC_SECTIONS:
         if not isinstance(doc["metrics"].get(section), dict):
             fail(f"{path}: metrics.{section} missing or not an object")

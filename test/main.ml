@@ -21,4 +21,5 @@ let () =
       ("trees", Test_trees.suite);
       ("obs", Test_obs.suite);
       ("guard", Test_guard.suite);
+      ("par", Test_par.suite);
     ]

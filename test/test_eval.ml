@@ -35,6 +35,15 @@ let test_unbound () =
        false
      with E.Unbound_variable _ -> true)
 
+let test_duplicate_binding () =
+  (* a duplicate name in the assignment list would silently shadow the
+     earlier value; holds pins this to Invalid_argument instead *)
+  check "duplicate binding raises" true
+    (try
+       ignore (E.holds p4 [ ("x", 0); ("x", 1) ] F.tru);
+       false
+     with Invalid_argument _ -> true)
+
 let test_quantifiers () =
   (* path has two endpoints: exists a vertex of degree 1 *)
   let deg1 =
@@ -127,6 +136,8 @@ let suite =
   [
     Alcotest.test_case "atoms" `Quick test_atoms;
     Alcotest.test_case "unbound variable" `Quick test_unbound;
+    Alcotest.test_case "duplicate binding rejected" `Quick
+      test_duplicate_binding;
     Alcotest.test_case "quantifiers" `Quick test_quantifiers;
     Alcotest.test_case "3-regularity of Petersen" `Quick test_regularity;
     Alcotest.test_case "triangle-freeness" `Quick test_triangle_freeness;

@@ -153,6 +153,42 @@ let test_dist_tuple () =
   check_int "tuple-tuple" 1 (Bfs.dist_tuple p5 [| 0 |] [| 1; 4 |]);
   check "empty tuple" true (Bfs.dist_tuple p5 [||] [| 1 |] = Bfs.infinity)
 
+let test_dist_swaps_to_lower_degree () =
+  (* a star (hub 0, 20 leaves) with a pendant path 0-21-22-23: a BFS
+     from the tail reaches the hub after 3 dequeues, a BFS from the hub
+     must drain ~n frontier vertices first.  [dist] promises to start
+     from the lower-degree endpoint, so both argument orders must cost
+     a small, hub-independent number of fuel ticks. *)
+  let edges =
+    (0, 21) :: (21, 22) :: (22, 23) :: List.init 20 (fun i -> (0, i + 1))
+  in
+  let g = Graph.create ~n:24 ~edges ~colors:[] in
+  let fuel_of u v =
+    let budget = Guard.Budget.unlimited () in
+    (match
+       Guard.run ~budget ~salvage:(fun () -> None) (fun () -> Bfs.dist g u v)
+     with
+    | Guard.Complete d -> check_int "dist" 3 d
+    | Guard.Exhausted _ -> Alcotest.fail "unlimited budget tripped");
+    (Guard.Budget.spent budget).Guard.fuel
+  in
+  check "hub->tail searches from the tail" true (fuel_of 0 23 <= 5);
+  check "tail->hub searches from the tail" true (fuel_of 23 0 <= 5)
+
+let test_tuple_count_of_index () =
+  check "count 3^2" true (Graph.Tuple.count ~n:3 ~k:2 = Some 9);
+  check "count overflows to None" true
+    (Graph.Tuple.count ~n:max_int ~k:2 = None);
+  check "count k=0" true (Graph.Tuple.count ~n:5 ~k:0 = Some 1);
+  (* of_index must enumerate in exactly the iter_all order *)
+  let n = 3 and k = 2 in
+  let expected = Graph.Tuple.all ~n ~k in
+  List.iteri
+    (fun i t ->
+      check "of_index matches iter_all order" true
+        (Graph.Tuple.of_index ~n ~k i = t))
+    expected
+
 (* ------------------------------------------------------------------ *)
 (* Ops                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -437,6 +473,9 @@ let suite =
     Alcotest.test_case "multi source" `Quick test_multi_source;
     Alcotest.test_case "ball" `Quick test_ball;
     Alcotest.test_case "dist tuple" `Quick test_dist_tuple;
+    Alcotest.test_case "dist starts at the lower-degree endpoint" `Quick
+      test_dist_swaps_to_lower_degree;
+    Alcotest.test_case "tuple count/of_index" `Quick test_tuple_count_of_index;
     Alcotest.test_case "induced" `Quick test_induced;
     Alcotest.test_case "induced colors" `Quick test_induced_colors;
     Alcotest.test_case "neighborhood" `Quick test_neighborhood;

@@ -1,0 +1,251 @@
+(* Tests for folearn.par: the fixed-size domain pool and the
+   determinism contract of the parallel solver paths.
+
+   - pool combinators: index-ordered results, chunked map/reduce equal
+     to the sequential fold, lowest-indexed failure re-raised;
+   - the headline property: every Erm_* solver and Preindex.build
+     returns bit-identical hypotheses, errors and class assignments at
+     jobs = 1, 2 and 4 (jobs = 1 runs first so the global intern
+     tables are warm — ids are process-global, see par.mli);
+   - budget trips (fault plans and fuel) are deterministic under
+     parallelism: shared Atomic accounting makes every worker see the
+     same trip. *)
+
+open Cgraph
+module Sam = Folearn.Sample
+module Brute = Folearn.Erm_brute
+module Counting = Folearn.Erm_counting
+module Local = Folearn.Erm_local
+module Real = Folearn.Erm_realizable
+module Pre = Folearn.Preindex
+module Hyp = Folearn.Hypothesis
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_pool ~jobs f =
+  let pool = Par.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
+
+let sample_on g centre =
+  Sam.label_with g
+    ~target:(fun v -> Bfs.dist g v.(0) centre <= 1)
+    (Sam.all_tuples g ~k:1)
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let map_tasks_index_order () =
+  with_pool ~jobs:4 @@ fun pool ->
+  let r = Par.map_tasks pool ~tasks:100 (fun i -> i * i) in
+  check_int "length" 100 (Array.length r);
+  Array.iteri (fun i v -> check_int "r.(i) = i*i" (i * i) v) r
+
+let map_list_matches_sequential () =
+  with_pool ~jobs:3 @@ fun pool ->
+  let xs = List.init 57 (fun i -> i - 20) in
+  let f x = (x * 31) mod 7 in
+  check "map_list" true (Par.map_list pool f xs = List.map f xs)
+
+let map_reduce_matches_fold () =
+  with_pool ~jobs:4 @@ fun pool ->
+  let n = 1000 in
+  let total =
+    Par.map_reduce_chunks pool ~n
+      ~map:(fun lo hi ->
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          s := !s + i
+        done;
+        !s)
+      ~reduce:( + ) ~init:0 ()
+  in
+  check_int "sum 0..n-1" (n * (n - 1) / 2) total;
+  (* chunk-order reduce: a non-commutative reduction must still see
+     the chunks in index order *)
+  let concat =
+    Par.map_reduce_chunks pool ~n:26 ~chunk:3
+      ~map:(fun lo hi -> String.init (hi - lo) (fun i -> Char.chr (65 + lo + i)))
+      ~reduce:( ^ ) ~init:"" ()
+  in
+  check "chunks reduced in index order" true
+    (concat = "ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+
+let lowest_failure_wins () =
+  with_pool ~jobs:4 @@ fun pool ->
+  match
+    Par.run pool ~tasks:64 (fun i ->
+        if i mod 2 = 1 then failwith (string_of_int i))
+  with
+  | () -> Alcotest.fail "expected a failure to propagate"
+  | exception Failure m -> check "lowest-indexed failure re-raised" true (m = "1")
+
+let inline_when_single () =
+  (* a size-1 pool must not spawn: it runs inline on the caller *)
+  with_pool ~jobs:1 @@ fun pool ->
+  let self = Domain.self () in
+  let r =
+    Par.map_tasks pool ~tasks:8 (fun i ->
+        check "inline on caller domain" true (Domain.self () = self);
+        i + 1)
+  in
+  check_int "inline result" 8 r.(7)
+
+(* ------------------------------------------------------------------ *)
+(* parallel = sequential, for every solver and the preindex           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each run_* projects a solver result onto a comparable value:
+   hypothesis signature, error, and the solver's own counters
+   (everything the determinism contract promises). *)
+
+let run_brute pool g lam =
+  let r = Brute.solve ~pool g ~k:1 ~ell:1 ~q:1 lam in
+  (Hyp.signature r.Brute.hypothesis, r.Brute.err, r.Brute.params_tried)
+
+let run_counting pool g lam =
+  let r = Counting.solve ~pool g ~k:1 ~ell:1 ~q:1 ~tmax:2 lam in
+  (Hyp.signature r.Counting.hypothesis, r.Counting.err, r.Counting.params_tried)
+
+let run_local pool g lam =
+  let r = Local.solve ~pool ~radius:1 g ~k:1 ~ell:1 ~q:1 lam in
+  ( Hyp.signature r.Local.hypothesis,
+    r.Local.err,
+    r.Local.params_tried + (r.Local.pool_size * 1000)
+    + (r.Local.vertices_touched * 1000000) )
+
+let realizable_catalogue =
+  List.map Fo.Parser.parse
+    [ "exists z. E(x, z) /\\ E(z, y1)"; "E(x, y1)"; "x = y1" ]
+
+let run_realizable pool g lam =
+  match Real.solve ~pool g ~ell:1 ~catalogue:realizable_catalogue lam with
+  | None -> ("(reject)", 0.0, 0)
+  | Some r ->
+      (* mc_calls is jobs-dependent (the block scan may speculate past
+         the winner); the hypothesis and the winning index are not *)
+      (Hyp.signature r.Real.hypothesis, 0.0, r.Real.formulas_tried)
+
+let run_preindex pool g _lam =
+  let idx = Pre.build ~pool g ~q:1 ~r:1 in
+  let classes =
+    String.concat ","
+      (List.init (Graph.order g) (fun v -> string_of_int (Pre.vertex_class idx v)))
+  in
+  (classes, 0.0, Pre.class_count idx)
+
+let det_prop (name, runner) =
+  QCheck.Test.make ~count:6
+    ~name:(Printf.sprintf "%s: jobs 1/2/4 bit-identical" name)
+    QCheck.(int_range 6 14)
+    (fun n ->
+      let g = Gen.gnp ~seed:n ~n ~p:0.25 in
+      let lam = sample_on g (n / 2) in
+      (* jobs = 1 first: warms the process-global intern tables *)
+      let seq = with_pool ~jobs:1 (fun pool -> runner pool g lam) in
+      List.for_all
+        (fun jobs -> with_pool ~jobs (fun pool -> runner pool g lam) = seq)
+        [ 2; 4 ])
+
+let det_props =
+  List.map det_prop
+    [
+      ("erm_brute", run_brute);
+      ("erm_counting", run_counting);
+      ("erm_local", run_local);
+      ("erm_realizable", run_realizable);
+      ("preindex", run_preindex);
+    ]
+
+let nd_deterministic () =
+  (* Erm_nd parallelises its BFS-ball batches; the report must not
+     depend on the pool size (the search itself stays sequential) *)
+  let g = Gen.random_tree ~seed:17 40 in
+  let lam = sample_on g 20 in
+  let run jobs =
+    Par.set_jobs jobs;
+    let cls = Splitter.Nowhere_dense.forests in
+    let cfg =
+      Folearn.Erm_nd.default_config ~radius:1 ~k:1 ~ell_star:1 ~q_star:1 cls
+    in
+    let rep = Folearn.Erm_nd.solve cfg g lam in
+    ( Hyp.signature rep.Folearn.Erm_nd.hypothesis,
+      rep.Folearn.Erm_nd.err,
+      rep.Folearn.Erm_nd.branches_explored,
+      List.length rep.Folearn.Erm_nd.rounds )
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  Par.set_jobs 1;
+  check "nd report identical at jobs 4" true (seq = par)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic budget trips under parallelism                        *)
+(* ------------------------------------------------------------------ *)
+
+let fault_trip_deterministic () =
+  let g = Gen.gnp ~seed:5 ~n:24 ~p:0.2 in
+  let lam = sample_on g 12 in
+  let outcome jobs faults =
+    with_pool ~jobs @@ fun pool ->
+    match
+      Brute.solve_budgeted
+        ~budget:(Guard.Budget.make ~faults ())
+        ~pool g ~k:1 ~ell:1 ~q:1 lam
+    with
+    | Guard.Complete _ -> None
+    | Guard.Exhausted { reason; checkpoint; _ } -> Some (reason, checkpoint)
+  in
+  List.iter
+    (fun cp ->
+      let faults = Guard.Faults.trip_at cp ~n:10 in
+      let seq = outcome 1 faults in
+      check "fault plan fires" true (seq <> None);
+      check
+        (Printf.sprintf "trip at %s identical at jobs 4"
+           (Guard.checkpoint_to_string cp))
+        true
+        (outcome 4 faults = seq))
+    [ Guard.Solver_loop; Guard.Hintikka_build ]
+
+let fuel_trip_deterministic () =
+  (* fuel is one shared Atomic: the cap is crossed at the same total
+     spend whatever the schedule, so the reason is stable (the
+     reporting checkpoint may be any of the concurrent ones) *)
+  let g = Gen.gnp ~seed:6 ~n:24 ~p:0.2 in
+  let lam = sample_on g 12 in
+  let reason_at jobs =
+    with_pool ~jobs @@ fun pool ->
+    match
+      Brute.solve_budgeted
+        ~budget:(Guard.Budget.make ~fuel:500 ())
+        ~pool g ~k:1 ~ell:1 ~q:1 lam
+    with
+    | Guard.Complete _ -> None
+    | Guard.Exhausted { reason; _ } -> Some reason
+  in
+  check "fuel cap trips sequentially" true (reason_at 1 = Some Guard.Out_of_fuel);
+  check "fuel cap trips at jobs 4" true (reason_at 4 = Some Guard.Out_of_fuel)
+
+let suite =
+  [
+    Alcotest.test_case "map_tasks returns index-ordered results" `Quick
+      map_tasks_index_order;
+    Alcotest.test_case "map_list = List.map" `Quick map_list_matches_sequential;
+    Alcotest.test_case "map_reduce_chunks = sequential fold" `Quick
+      map_reduce_matches_fold;
+    Alcotest.test_case "lowest-indexed failure is re-raised" `Quick
+      lowest_failure_wins;
+    Alcotest.test_case "jobs=1 runs inline on the caller" `Quick
+      inline_when_single;
+  ]
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest p) det_props
+  @ [
+      Alcotest.test_case "erm_nd report independent of jobs" `Quick
+        nd_deterministic;
+      Alcotest.test_case "fault plans trip deterministically under jobs 4"
+        `Quick fault_trip_deterministic;
+      Alcotest.test_case "fuel cap trips under jobs 4" `Quick
+        fuel_trip_deterministic;
+    ]
