@@ -227,15 +227,149 @@ let budget_of ~fuel ~timeout ~max_table ~max_ball =
       (Guard.Budget.make ?fuel ?timeout_s:timeout ?max_table ?max_ball ())
 
 let report_exhausted ~cmd ~reason ~checkpoint ~(spent : Guard.spent) =
-  Format.eprintf
-    "folearn %s: budget exhausted: %s at %s (fuel %d, %.3f s, table %d, ball \
-     %d)@."
-    cmd
-    (Guard.reason_to_string reason)
+  let what =
+    match reason with
+    | Guard.Interrupted -> "interrupted"
+    | r -> "budget exhausted: " ^ Guard.reason_to_string r
+  in
+  Format.eprintf "folearn %s: %s at %s (fuel %d, %.3f s, table %d, ball %d)@."
+    cmd what
     (Guard.checkpoint_to_string checkpoint)
     spent.Guard.fuel
     (Int64.to_float spent.Guard.elapsed_ns /. 1e9)
     spent.Guard.table_rows spent.Guard.ball_peak
+
+(* crash safety: --checkpoint / --resume on the long-running
+   subcommands.  Snapshot cadence rides the Guard tick hook, so an
+   uncheckpointed, unbudgeted run keeps its zero-overhead hot path;
+   --checkpoint with no budget flag installs an unlimited budget purely
+   to drive the cadence (it never trips). *)
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"PATH"
+        ~doc:
+          "Write crash-safe snapshots of the run to $(docv) (atomic \
+           temp-file + fsync + rename; CRC-checked on load).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot every $(docv) settled candidates (default: off, the \
+           time cadence governs).")
+
+let checkpoint_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+        ~doc:"Snapshot at most every $(docv) seconds (default 2).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"PATH"
+        ~doc:
+          "Resume from the snapshot at $(docv).  A missing file is a \
+           fresh start; a corrupt snapshot or one from a different \
+           run/solver is a usage error.  The resumed run's output is \
+           bit-identical to an uninterrupted one.")
+
+type ckpt_opts = {
+  ck_path : string option;
+  ck_every : int option;
+  ck_interval : float;
+  ck_resume : string option;
+}
+
+let ckpt_term =
+  let mk ck_path ck_every ck_interval ck_resume =
+    { ck_path; ck_every; ck_interval; ck_resume }
+  in
+  Term.(
+    const mk $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_interval_arg
+    $ resume_arg)
+
+(* the handler body is async-signal-safe (one atomic store); the next
+   budgeted tick on any domain converts the flag into an [Interrupted]
+   trip, and the outcome handler flushes a final snapshot *)
+let install_signals () =
+  let h = Sys.Signal_handle (fun _ -> Guard.interrupt ()) in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h
+
+(* Resolve the checkpoint flags into (budget, controller).  Resuming a
+   snapshot whose run id or solver differs from this invocation would
+   silently replay-skip the wrong candidates, so that is a usage
+   error; a missing snapshot file is a fresh start, letting harnesses
+   pass --checkpoint and --resume together unconditionally. *)
+let setup_resilience ~cmd ~solver ~run_id ~budget
+    { ck_path; ck_every; ck_interval; ck_resume } =
+  Guard.clear_interrupt ();
+  let resume =
+    match ck_resume with
+    | None -> None
+    | Some path -> (
+        match Resil.Snapshot.load path with
+        | Ok snap ->
+            if snap.Resil.Snapshot.run_id <> run_id then begin
+              Format.eprintf
+                "folearn %s: --resume %s: snapshot belongs to a different \
+                 run (id %s, expected %s)@."
+                cmd path snap.Resil.Snapshot.run_id run_id;
+              exit 2
+            end
+            else if snap.Resil.Snapshot.solver <> solver then begin
+              Format.eprintf
+                "folearn %s: --resume %s: snapshot was written by solver \
+                 %s, this run uses %s@."
+                cmd path snap.Resil.Snapshot.solver solver;
+              exit 2
+            end
+            else begin
+              Format.eprintf
+                "folearn %s: resuming from %s (cursor %d, %d snapshot \
+                 writes so far)@."
+                cmd path snap.Resil.Snapshot.cursor
+                snap.Resil.Snapshot.writes;
+              Some snap
+            end
+        | Error `Not_found ->
+            Format.eprintf "folearn %s: no snapshot at %s; starting fresh@."
+              cmd path;
+            None
+        | Error (`Corrupt msg) ->
+            Format.eprintf "folearn %s: --resume %s: corrupt snapshot: %s@."
+              cmd path msg;
+            exit 2)
+  in
+  let wants_ckpt = ck_path <> None || resume <> None in
+  let budget =
+    match budget with
+    | Some _ as b -> b
+    | None -> if wants_ckpt then Some (Guard.Budget.unlimited ()) else None
+  in
+  (match budget with Some _ -> install_signals () | None -> ());
+  let ckpt =
+    if not wants_ckpt then Resil.Ctl.none
+    else
+      Resil.Ctl.create ?path:ck_path ?every:ck_every ~interval_s:ck_interval
+        ?budget ?resume ~run_id ~solver ()
+  in
+  (budget, ckpt)
+
+(* an interrupted run exits 3 even with nothing salvaged: the operator
+   asked for the stop, and the snapshot (if any) holds the progress *)
+let exhausted_exit reason ~salvaged =
+  if reason = Guard.Interrupted || salvaged then exit_degraded
+  else exit_exhausted
+
+let run_id_of parts = Digest.to_hex (Digest.string (String.concat "\n" parts))
 
 (* ------------------------------------------------------------------ *)
 (* learn                                                               *)
@@ -291,12 +425,33 @@ let learn_cmd =
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let run g colors target k ell q solver tmax noise m seed fuel timeout
-      max_table max_ball jobs trace stats stats_json =
+      max_table max_ball jobs ckpt_opts trace stats stats_json =
     apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let target = parse_formula_or_exit ~cmd:"learn" ~flag:"--target" target in
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
+    let solver_name =
+      match solver with
+      | `Brute -> "brute"
+      | `Nd -> "nd"
+      | `Counting -> "counting"
+      | `Local -> "local"
+    in
+    let run_id =
+      run_id_of
+        [
+          "learn"; Io.to_string g;
+          Format.asprintf "%a" Fo.Formula.pp target;
+          string_of_int k; string_of_int ell; string_of_int q; solver_name;
+          string_of_int tmax; string_of_float noise; string_of_int m;
+          string_of_int seed;
+        ]
+    in
+    let budget, ckpt =
+      setup_resilience ~cmd:"learn" ~solver:solver_name ~run_id ~budget
+        ckpt_opts
+    in
     let module Sam = Folearn.Sample in
     let xvars = Folearn.Hypothesis.xvars k in
     (match
@@ -330,21 +485,25 @@ let learn_cmd =
     let conclude outcome print =
       match outcome with
       | Guard.Complete r ->
+          Resil.Ctl.flush ~complete:true ckpt;
           print r;
           0
       | Guard.Exhausted { best_so_far = Some r; reason; checkpoint; spent } ->
+          Resil.Ctl.flush ckpt;
           report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
           Format.printf "best-so-far hypothesis (no optimality certificate):@.";
           print r;
-          exit_degraded
+          exhausted_exit reason ~salvaged:true
       | Guard.Exhausted { best_so_far = None; reason; checkpoint; spent } ->
+          Resil.Ctl.flush ckpt;
           report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
           Format.eprintf "folearn learn: no hypothesis salvaged@.";
-          exit_exhausted
+          exhausted_exit reason ~salvaged:false
     in
     match solver with
     | `Brute ->
-        conclude (Folearn.Erm_brute.solve_budgeted ?budget g ~k ~ell ~q lam)
+        conclude
+          (Folearn.Erm_brute.solve_budgeted ?budget ~ckpt g ~k ~ell ~q lam)
           (fun (r : Folearn.Erm_brute.result) ->
             Format.printf
               "solver: Prop 11 exact ERM (tried %d parameter tuples)@."
@@ -358,7 +517,7 @@ let learn_cmd =
           Folearn.Erm_nd.default_config ~radius:1 ~k ~ell_star:(max 1 ell)
             ~q_star:q cls
         in
-        conclude (Folearn.Erm_nd.solve_budgeted ?budget cfg g lam)
+        conclude (Folearn.Erm_nd.solve_budgeted ?budget ~ckpt cfg g lam)
           (fun (rep : Folearn.Erm_nd.report) ->
             Format.printf
               "solver: Theorem 13 (rounds %d, branches %d, ell used %d, rank \
@@ -371,7 +530,8 @@ let learn_cmd =
               (Folearn.Hypothesis.params rep.Folearn.Erm_nd.hypothesis))
     | `Counting ->
         conclude
-          (Folearn.Erm_counting.solve_budgeted ?budget g ~k ~ell ~q ~tmax lam)
+          (Folearn.Erm_counting.solve_budgeted ?budget ~ckpt g ~k ~ell ~q
+             ~tmax lam)
           (fun (r : Folearn.Erm_counting.result) ->
             Format.printf
               "solver: exact counting ERM (FOC, thresholds <= %d; tried %d \
@@ -393,6 +553,24 @@ let learn_cmd =
             Format.printf "parameters: %a@." Graph.Tuple.pp
               (Folearn.Hypothesis.params r.Folearn.Erm_local.hypothesis);
             0
+        | Some _ when Resil.Ctl.active ckpt ->
+            (* a checkpointed local run must resume bit-identically,
+               so it bypasses the degradation chain (whose stage
+               hand-offs have no stable candidate numbering) and runs
+               the local solver directly under the budget *)
+            conclude
+              (Folearn.Erm_local.solve_budgeted ?budget ~ckpt g ~k ~ell ~q
+                 lam)
+              (fun (r : Folearn.Erm_local.result) ->
+                Format.printf
+                  "solver: sublinear local learner (pool %d, touched %d of \
+                   %d vertices)@."
+                  r.Folearn.Erm_local.pool_size
+                  r.Folearn.Erm_local.vertices_touched (Graph.order g);
+                Format.printf "training error: %.4f@."
+                  r.Folearn.Erm_local.err;
+                Format.printf "parameters: %a@." Graph.Tuple.pp
+                  (Folearn.Hypothesis.params r.Folearn.Erm_local.hypothesis))
         | Some _ ->
             (* budgeted local runs go through the degradation chain:
                local at rank q, then exact brute-force ERM at ranks
@@ -426,19 +604,19 @@ let learn_cmd =
                 Format.printf
                   "best-so-far hypothesis (no optimality certificate):@.";
                 print l;
-                exit_degraded
+                exhausted_exit reason ~salvaged:true
             | Guard.Exhausted { best_so_far = None; reason; checkpoint; spent }
               ->
                 report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
                 Format.eprintf "folearn learn: no hypothesis salvaged@.";
-                exit_exhausted)
+                exhausted_exit reason ~salvaged:false)
   in
   let term =
     Term.(
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
       $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ fuel_arg
-      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ trace_arg
-      $ stats_arg $ stats_json_arg)
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term
+      $ trace_arg $ stats_arg $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
@@ -461,14 +639,29 @@ let mc_cmd =
       & info [ "via-erm" ]
           ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
   in
-  let run g colors phi via_erm fuel timeout max_table max_ball jobs trace stats
-      stats_json =
+  let run g colors phi via_erm fuel timeout max_table max_ball jobs ckpt_opts
+      trace stats stats_json =
     apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let phi = parse_formula_or_exit ~cmd:"mc" ~flag:"--formula" phi in
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
+    (* mc has no candidate enumeration to replay-skip: checkpoints
+       record run identity and spend only, and a resumed run re-checks
+       from scratch (coarse resume) *)
+    let run_id =
+      run_id_of
+        [
+          "mc"; Io.to_string g;
+          Format.asprintf "%a" Fo.Formula.pp phi;
+          string_of_bool via_erm;
+        ]
+    in
+    let budget, ckpt =
+      setup_resilience ~cmd:"mc" ~solver:"mc" ~run_id ~budget ckpt_opts
+    in
     let outcome =
+      Resil.Ctl.with_attached ckpt @@ fun () ->
       if via_erm then
         Guard.outcome_map
           (fun (verdict, stats) ->
@@ -493,19 +686,21 @@ let mc_cmd =
     in
     match outcome with
     | Guard.Complete print ->
+        Resil.Ctl.flush ~complete:true ckpt;
         print ();
         0
     | Guard.Exhausted { reason; checkpoint; spent; _ } ->
         (* a truth value is all-or-nothing: no partial verdict to keep *)
+        Resil.Ctl.flush ckpt;
         report_exhausted ~cmd:"mc" ~reason ~checkpoint ~spent;
-        exit_exhausted
+        exhausted_exit reason ~salvaged:false
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"First-order model checking (direct or via Theorem 1).")
     Term.(
       const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg $ fuel_arg
-      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ trace_arg
-      $ stats_arg $ stats_json_arg)
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term
+      $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* types                                                               *)
@@ -519,13 +714,24 @@ let types_cmd =
       value & flag
       & info [ "hintikka" ] ~doc:"Also print one Hintikka formula per class.")
   in
-  let run g colors q k hintikka fuel timeout max_table max_ball jobs trace
-      stats stats_json =
+  let run g colors q k hintikka fuel timeout max_table max_ball jobs ckpt_opts
+      trace stats stats_json =
     apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
+    let run_id =
+      run_id_of
+        [
+          "types"; Io.to_string g; string_of_int q; string_of_int k;
+          string_of_bool hintikka;
+        ]
+    in
+    let budget, ckpt =
+      setup_resilience ~cmd:"types" ~solver:"types" ~run_id ~budget ckpt_opts
+    in
     let outcome =
+      Resil.Ctl.with_attached ckpt @@ fun () ->
       Guard.run ?budget
         ~salvage:(fun () -> None)
         (fun () ->
@@ -535,6 +741,7 @@ let types_cmd =
     in
     match outcome with
     | Guard.Complete classes ->
+        Resil.Ctl.flush ~complete:true ckpt;
         Format.printf "%d distinct tp_%d classes of %d-tuples on %d vertices@."
           (List.length classes) q k (Graph.order g);
         List.iteri
@@ -548,15 +755,16 @@ let types_cmd =
           classes;
         0
     | Guard.Exhausted { reason; checkpoint; spent; _ } ->
+        Resil.Ctl.flush ckpt;
         report_exhausted ~cmd:"types" ~reason ~checkpoint ~spent;
-        exit_exhausted
+        exhausted_exit reason ~salvaged:false
   in
   Cmd.v
     (Cmd.info "types" ~doc:"Print the q-type partition of the graph.")
     Term.(
       const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg
       $ fuel_arg $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg
-      $ trace_arg $ stats_arg $ stats_json_arg)
+      $ ckpt_term $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game                                                                *)
@@ -564,13 +772,18 @@ let types_cmd =
 
 let game_cmd =
   let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~doc:"Game radius.") in
-  let run g colors r fuel timeout max_table max_ball jobs trace stats
-      stats_json =
+  let run g colors r fuel timeout max_table max_ball jobs ckpt_opts trace
+      stats stats_json =
     apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
     let g = with_cli_colors g colors in
+    let run_id = run_id_of [ "game"; Io.to_string g; string_of_int r ] in
+    let budget, ckpt =
+      setup_resilience ~cmd:"game" ~solver:"game" ~run_id ~budget ckpt_opts
+    in
     let outcome =
+      Resil.Ctl.with_attached ckpt @@ fun () ->
       Guard.run ?budget
         ~salvage:(fun () -> None)
         (fun () ->
@@ -580,6 +793,7 @@ let game_cmd =
     in
     match outcome with
     | Guard.Complete tr ->
+        Resil.Ctl.flush ~complete:true ckpt;
         List.iteri
           (fun i (v, w, remaining) ->
             Format.printf
@@ -592,15 +806,16 @@ let game_cmd =
         | _ -> Format.printf "no win within the round cap@.");
         0
     | Guard.Exhausted { reason; checkpoint; spent; _ } ->
+        Resil.Ctl.flush ckpt;
         report_exhausted ~cmd:"game" ~reason ~checkpoint ~spent;
-        exit_exhausted
+        exhausted_exit reason ~salvaged:false
   in
   Cmd.v
     (Cmd.info "game" ~doc:"Play out the (r, s)-splitter game.")
     Term.(
       const run $ graph_arg $ colors_arg $ r_arg $ fuel_arg $ timeout_arg
-      $ max_table_arg $ max_ball_arg $ jobs_arg $ trace_arg $ stats_arg
-      $ stats_json_arg)
+      $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term $ trace_arg
+      $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)

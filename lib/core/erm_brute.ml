@@ -77,6 +77,10 @@ let consider st idx params chosen errs =
       ()
   | _ -> st.best := Some (idx, params, chosen, errs)
 
+(* the checkpoint controller's view of the best: (index, error count) *)
+let best_key st =
+  match !(st.best) with Some (i, _, _, e) -> Some (i, e) | None -> None
+
 let finish g ~k ~q lam st =
   match !(st.best) with
   | Some (_, params, chosen, errs) ->
@@ -106,8 +110,15 @@ let finish g ~k ~q lam st =
    [Types] context per chunk (the memo tables are not shared between
    domains); each finished chunk merges its local (errs, idx)-best into
    [st] under [st.merge], so the final — and any salvaged — winner is
-   the same candidate the sequential sweep keeps. *)
-let solve_body ?pool g ~k ~ell ~q lam st =
+   the same candidate the sequential sweep keeps.
+
+   [ckpt] threads the resume cursor: candidates below it still tick
+   the budget, bump the obs counters and count as tried — so a resumed
+   run's telemetry equals the uninterrupted one — but skip the
+   majority vote, except the recorded best index (re-evaluated to
+   recover the winning types).  Settled ranges are reported back so
+   the cadence writer can snapshot the frontier. *)
+let solve_body ?pool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q lam st =
   Analysis.Guard.require ~what:"Erm_brute.solve"
     (Analysis.Guard.budgets ~ell ~q ~k ());
   check_arity ~k lam;
@@ -124,11 +135,13 @@ let solve_body ?pool g ~k ~ell ~q lam st =
             Guard.tick Guard.Solver_loop;
             Obs.Metric.incr hypotheses_enumerated;
             Obs.Metric.incr consistency_checks;
-            let params = Graph.Tuple.of_index ~n ~k:ell i in
-            let chosen, errs = majority_types ctx ~q ~params lam in
-            match !local with
-            | Some (_, _, _, best_errs) when best_errs <= errs -> ()
-            | _ -> local := Some (i, params, chosen, errs)
+            if Resil.Ctl.should_eval ckpt i then begin
+              let params = Graph.Tuple.of_index ~n ~k:ell i in
+              let chosen, errs = majority_types ctx ~q ~params lam in
+              match !local with
+              | Some (_, _, _, best_errs) when best_errs <= errs -> ()
+              | _ -> local := Some (i, params, chosen, errs)
+            end
           done;
           (* merge as soon as the chunk completes so a later budget trip
              can still salvage it *)
@@ -137,6 +150,7 @@ let solve_body ?pool g ~k ~ell ~q lam st =
           (match !local with
           | Some (i, params, chosen, errs) -> consider st i params chosen errs
           | None -> ());
+          Resil.Ctl.chunk_done ckpt ~lo ~hi ~best:(best_key st);
           Mutex.unlock st.merge)
         ~reduce:(fun () () -> ())
         ~init:() ();
@@ -150,8 +164,12 @@ let solve_body ?pool g ~k ~ell ~q lam st =
           incr st.tried;
           Obs.Metric.incr hypotheses_enumerated;
           Obs.Metric.incr consistency_checks;
-          let chosen, errs = majority_types ctx ~q ~params lam in
-          consider st !idx params chosen errs;
+          let i = !idx in
+          if Resil.Ctl.should_eval ckpt i then begin
+            let chosen, errs = majority_types ctx ~q ~params lam in
+            consider st i params chosen errs
+          end;
+          Resil.Ctl.chunk_done ckpt ~lo:i ~hi:(i + 1) ~best:(best_key st);
           incr idx);
       finish g ~k ~q lam st
 
@@ -163,13 +181,14 @@ let solve ?pool g ~k ~ell ~q lam =
   @@ fun () ->
   solve_body ?pool g ~k ~ell ~q lam (fresh_progress ())
 
-let solve_budgeted ?budget ?pool g ~k ~ell ~q lam =
+let solve_budgeted ?budget ?pool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q lam =
   Obs.Span.with_ "erm_brute.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q) ]
   @@ fun () ->
   let st = fresh_progress () in
+  Resil.Ctl.with_attached ckpt @@ fun () ->
   Guard.run ?budget
     ~salvage:(fun () ->
       (* Only salvage if at least one candidate finished evaluating;
@@ -177,6 +196,6 @@ let solve_budgeted ?budget ?pool g ~k ~ell ~q lam =
       match !(st.best) with
       | None -> None
       | Some _ -> Some (finish g ~k ~q lam st))
-    (fun () -> solve_body ?pool g ~k ~ell ~q lam st)
+    (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q lam st)
 
 let optimal_error g ~k ~ell ~q lam = (solve g ~k ~ell ~q lam).err

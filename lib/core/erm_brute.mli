@@ -33,13 +33,20 @@ val solve :
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
   ?pool:Par.Pool.t ->
+  ?ckpt:Resil.Ctl.t ->
   Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
 (** {!solve} under a resource budget.  [Complete r] is exactly the
     unbudgeted result; on exhaustion, [best_so_far] is the best
     hypothesis among the candidates that finished evaluating (with its
     empirical error), or [None] if none did — still a sound hypothesis
     under the agnostic semantics, only without the min-error
-    certificate. *)
+    certificate.
+
+    [ckpt] (default inert) threads a checkpoint controller: settled
+    candidate ranges are reported for cadence snapshots, and on resume
+    candidates below the snapshot cursor are replay-skipped — ticked
+    and counted, but not re-evaluated, except the recorded best index.
+    The result is bit-identical to an uninterrupted run. *)
 
 val optimal_error : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> float
 (** Just [ε* = min_{h ∈ H_{k,ℓ,q}} err_Λ(h)]. *)

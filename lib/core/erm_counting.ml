@@ -52,6 +52,9 @@ let consider st idx params chosen errs =
       ()
   | _ -> st.best := Some (idx, params, chosen, errs)
 
+let best_key st =
+  match !(st.best) with Some (i, _, _, e) -> Some (i, e) | None -> None
+
 let finish g ~k ~q ~tmax lam st =
   match !(st.best) with
   | Some (_, params, chosen, errs) ->
@@ -71,7 +74,7 @@ let finish g ~k ~q ~tmax lam st =
         params_tried = !(st.tried);
       }
 
-let solve_body ?pool g ~k ~ell ~q ~tmax lam st =
+let solve_body ?pool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q ~tmax lam st =
   Analysis.Guard.require ~what:"Erm_counting.solve"
     (Analysis.Guard.budgets ~ell ~q ~tmax ~k ());
   check_arity ~k lam;
@@ -88,17 +91,20 @@ let solve_body ?pool g ~k ~ell ~q ~tmax lam st =
             Guard.tick Guard.Solver_loop;
             Obs.Metric.incr hypotheses_enumerated;
             Obs.Metric.incr consistency_checks;
-            let params = Graph.Tuple.of_index ~n ~k:ell i in
-            let chosen, errs = majority ctx ~q ~tmax ~params lam in
-            match !local with
-            | Some (_, _, _, best_errs) when best_errs <= errs -> ()
-            | _ -> local := Some (i, params, chosen, errs)
+            if Resil.Ctl.should_eval ckpt i then begin
+              let params = Graph.Tuple.of_index ~n ~k:ell i in
+              let chosen, errs = majority ctx ~q ~tmax ~params lam in
+              match !local with
+              | Some (_, _, _, best_errs) when best_errs <= errs -> ()
+              | _ -> local := Some (i, params, chosen, errs)
+            end
           done;
           Mutex.lock st.merge;
           st.tried := !(st.tried) + (hi - lo);
           (match !local with
           | Some (i, params, chosen, errs) -> consider st i params chosen errs
           | None -> ());
+          Resil.Ctl.chunk_done ckpt ~lo ~hi ~best:(best_key st);
           Mutex.unlock st.merge)
         ~reduce:(fun () () -> ())
         ~init:() ();
@@ -111,8 +117,12 @@ let solve_body ?pool g ~k ~ell ~q ~tmax lam st =
           incr st.tried;
           Obs.Metric.incr hypotheses_enumerated;
           Obs.Metric.incr consistency_checks;
-          let chosen, errs = majority ctx ~q ~tmax ~params lam in
-          consider st !idx params chosen errs;
+          let i = !idx in
+          if Resil.Ctl.should_eval ckpt i then begin
+            let chosen, errs = majority ctx ~q ~tmax ~params lam in
+            consider st i params chosen errs
+          end;
+          Resil.Ctl.chunk_done ckpt ~lo:i ~hi:(i + 1) ~best:(best_key st);
           incr idx);
       finish g ~k ~q ~tmax lam st
 
@@ -124,18 +134,20 @@ let solve ?pool g ~k ~ell ~q ~tmax lam =
   @@ fun () ->
   solve_body ?pool g ~k ~ell ~q ~tmax lam (fresh_progress ())
 
-let solve_budgeted ?budget ?pool g ~k ~ell ~q ~tmax lam =
+let solve_budgeted ?budget ?pool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q ~tmax
+    lam =
   Obs.Span.with_ "erm_counting.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q); ("tmax", string_of_int tmax) ]
   @@ fun () ->
   let st = fresh_progress () in
+  Resil.Ctl.with_attached ckpt @@ fun () ->
   Guard.run ?budget
     ~salvage:(fun () ->
       match !(st.best) with
       | None -> None
       | Some _ -> Some (finish g ~k ~q ~tmax lam st))
-    (fun () -> solve_body ?pool g ~k ~ell ~q ~tmax lam st)
+    (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q ~tmax lam st)
 
 let optimal_error g ~k ~ell ~q ~tmax lam = (solve g ~k ~ell ~q ~tmax lam).err

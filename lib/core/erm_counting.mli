@@ -32,10 +32,11 @@ val solve :
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
   ?pool:Par.Pool.t ->
+  ?ckpt:Resil.Ctl.t ->
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t ->
   result Guard.outcome
 (** {!solve} under a resource budget; see {!Erm_brute.solve_budgeted}
-    for the [best_so_far] contract. *)
+    for the [best_so_far] and [ckpt] (checkpoint/resume) contracts. *)
 
 val optimal_error :
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t -> float

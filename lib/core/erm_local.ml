@@ -85,6 +85,9 @@ let consider st idx params chosen errs =
       ()
   | _ -> st.best <- Some (idx, params, chosen, errs)
 
+let best_key st =
+  match st.best with Some (i, _, _, e) -> Some (i, e) | None -> None
+
 let finish g ~k ~q ~r lam st =
   let params, chosen, errs =
     match st.best with
@@ -102,7 +105,7 @@ let finish g ~k ~q ~r lam st =
     vertices_touched = st.vertices_touched;
   }
 
-let solve_body ?pool:ppool g ~k ~ell ~q ~r lam st =
+let solve_body ?pool:ppool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q ~r lam st =
   Analysis.Guard.require ~what:"Erm_local.solve"
     (Analysis.Guard.budgets ~ell ~q ~radius:r ~k ()
     @ Analysis.Guard.sample_arity ~k (List.map fst lam));
@@ -134,9 +137,13 @@ let solve_body ?pool:ppool g ~k ~ell ~q ~r lam st =
           st.tried <- st.tried + 1;
           Obs.Metric.incr hypotheses_enumerated;
           Obs.Metric.incr consistency_checks;
-          let params = Array.of_list params_list in
-          let chosen, errs = majority ctx ~q ~r ~params lam in
-          consider st !idx params chosen errs;
+          let i = !idx in
+          if Resil.Ctl.should_eval ckpt i then begin
+            let params = Array.of_list params_list in
+            let chosen, errs = majority ctx ~q ~r ~params lam in
+            consider st i params chosen errs
+          end;
+          Resil.Ctl.chunk_done ckpt ~lo:i ~hi:(i + 1) ~best:(best_key st);
           incr idx)
     done
   end
@@ -160,11 +167,13 @@ let solve_body ?pool:ppool g ~k ~ell ~q ~r lam st =
                 Guard.tick Guard.Solver_loop;
                 Obs.Metric.incr hypotheses_enumerated;
                 Obs.Metric.incr consistency_checks;
-                let params = tuple_of_index pool_arr j i in
-                let chosen, errs = majority ctx ~q ~r ~params lam in
-                match !local with
-                | Some (_, _, _, best_errs) when best_errs <= errs -> ()
-                | _ -> local := Some (base + i, params, chosen, errs)
+                if Resil.Ctl.should_eval ckpt (base + i) then begin
+                  let params = tuple_of_index pool_arr j i in
+                  let chosen, errs = majority ctx ~q ~r ~params lam in
+                  match !local with
+                  | Some (_, _, _, best_errs) when best_errs <= errs -> ()
+                  | _ -> local := Some (base + i, params, chosen, errs)
+                end
               done;
               Mutex.lock st.merge;
               st.tried <- st.tried + (hi - lo);
@@ -172,6 +181,8 @@ let solve_body ?pool:ppool g ~k ~ell ~q ~r lam st =
               | Some (i, params, chosen, errs) ->
                   consider st i params chosen errs
               | None -> ());
+              Resil.Ctl.chunk_done ckpt ~lo:(base + lo) ~hi:(base + hi)
+                ~best:(best_key st);
               Mutex.unlock st.merge)
             ~reduce:(fun () () -> ())
             ~init:() ();
@@ -192,7 +203,8 @@ let solve ?pool ?radius g ~k ~ell ~q lam =
   solve_body ?pool g ~k ~ell ~q ~r:(radius_for ?radius q) lam
     (fresh_progress ())
 
-let solve_budgeted ?budget ?pool ?radius g ~k ~ell ~q lam =
+let solve_budgeted ?budget ?pool ?radius ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q
+    lam =
   Obs.Span.with_ "erm_local.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
@@ -200,9 +212,10 @@ let solve_budgeted ?budget ?pool ?radius g ~k ~ell ~q lam =
   @@ fun () ->
   let r = radius_for ?radius q in
   let st = fresh_progress () in
+  Resil.Ctl.with_attached ckpt @@ fun () ->
   Guard.run ?budget
     ~salvage:(fun () ->
       match st.best with
       | None -> None
       | Some _ -> Some (finish g ~k ~q ~r lam st))
-    (fun () -> solve_body ?pool g ~k ~ell ~q ~r lam st)
+    (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q ~r lam st)

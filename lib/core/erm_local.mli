@@ -45,9 +45,13 @@ val solve_budgeted :
   ?budget:Guard.Budget.t ->
   ?pool:Par.Pool.t ->
   ?radius:int ->
+  ?ckpt:Resil.Ctl.t ->
   Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
 (** {!solve} under a resource budget.  [Complete r] is exactly the
     unbudgeted result; on exhaustion, [best_so_far] is the best
     hypothesis among the parameter tuples that finished evaluating, or
     [None] if the run tripped before any did (e.g. while building the
-    candidate pool). *)
+    candidate pool).  [ckpt] threads a checkpoint controller over the
+    global candidate index (counting through the tuple lengths
+    [j = 0..ell] in enumeration order); see
+    {!Erm_brute.solve_budgeted}. *)

@@ -254,7 +254,7 @@ let rec subsets_up_to cap = function
    search followed by report assembly) and [salvage] (assemble a report
    from the best leaf seen so far, or [None] if no leaf was reached) so
    [solve_budgeted] can recover a partial answer after a budget trip. *)
-let solve_inner cfg g lam =
+let solve_inner ?(ckpt = Resil.Ctl.none) cfg g lam =
   if cfg.epsilon <= 0.0 then invalid_arg "Erm_nd.solve: epsilon must be > 0";
   Analysis.Guard.require ~what:"Erm_nd.solve"
     (Analysis.Guard.budgets ~ell:cfg.ell_star ~q:cfg.q_star ?tmax:cfg.counting
@@ -289,20 +289,33 @@ let solve_inner cfg g lam =
   let typ_orig = typer.a_typ g in
   let branches = ref 0 in
   let node_budget = ref 1024 in
-  (* best = (errs, params, rounds) *)
+  (* best = (errs, params, rounds, leaf index).  The tree walk itself
+     is deterministic and independent of leaf evaluations, so leaves
+     are numbered in traversal order: a resumed run replays the walk,
+     skips the majority vote for leaves below the snapshot cursor
+     (except the recorded best leaf, re-evaluated to recover its
+     hypothesis), and lands on the same first-best leaf. *)
   let best = ref None in
+  let leaf_idx = ref 0 in
   let consider_leaf answers_rev rounds_rev =
     Guard.tick Guard.Solver_loop;
     incr branches;
     Obs.Metric.incr hypotheses_enumerated;
     Obs.Metric.incr consistency_checks;
-    let params =
-      Array.of_list (List.concat (List.rev answers_rev))
-    in
-    let _, errs = majority_local typ_orig ~params lam in
-    match !best with
-    | Some (best_errs, _, _) when best_errs <= errs -> ()
-    | _ -> best := Some (errs, params, List.rev rounds_rev)
+    let i = !leaf_idx in
+    incr leaf_idx;
+    if Resil.Ctl.should_eval ckpt i then begin
+      let params =
+        Array.of_list (List.concat (List.rev answers_rev))
+      in
+      let _, errs = majority_local typ_orig ~params lam in
+      (match !best with
+      | Some (best_errs, _, _, _) when best_errs <= errs -> ()
+      | _ -> best := Some (errs, params, List.rev rounds_rev, i))
+    end;
+    Resil.Ctl.chunk_done ckpt ~lo:i ~hi:(i + 1)
+      ~best:
+        (match !best with Some (e, _, _, bi) -> Some (bi, e) | None -> None)
   in
   let module ISet = Set.Make (Int) in
   let rec explore stage round answers_rev rounds_rev =
@@ -573,7 +586,7 @@ let solve_inner cfg g lam =
   let finish () =
     let errs, params, rounds =
       match !best with
-      | Some b -> b
+      | Some (errs, params, rounds, _) -> (errs, params, rounds)
       | None -> (Sample.errors_of (fun _ -> false) lam, [||], [])
     in
     let chosen, errs' = majority_local typ_orig ~params lam in
@@ -606,11 +619,11 @@ let solve cfg g lam =
   let run, _ = solve_inner cfg g lam in
   run ()
 
-let solve_budgeted ?budget cfg g lam =
+let solve_budgeted ?budget ?(ckpt = Resil.Ctl.none) cfg g lam =
   Obs.Span.with_ "erm_nd.solve_budgeted"
     ~args:
       [ ("k", string_of_int cfg.k); ("ell", string_of_int cfg.ell_star);
         ("q", string_of_int cfg.q_star) ]
   @@ fun () ->
-  let run, salvage = solve_inner cfg g lam in
-  Guard.run ?budget ~salvage run
+  let run, salvage = solve_inner ~ckpt cfg g lam in
+  Resil.Ctl.with_attached ckpt @@ fun () -> Guard.run ?budget ~salvage run

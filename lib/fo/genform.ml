@@ -21,25 +21,30 @@ let gen cfg st =
       match Random.State.int st (if cfg.colors = [] then 3 else 4) with
       | 0 -> Formula.eq (var ()) (var ())
       | 1 -> Formula.edge (var ()) (var ())
-      | 2 -> if Random.State.bool st then Formula.True else Formula.False
+      | 2 -> if Random.State.bool st then Formula.tru else Formula.fls
       | _ -> Formula.color (pick cfg.colors) (var ())
     else begin
+      (* build through the smart constructors: generated formulas are
+         then fixpoints of the parser's normalisation, so pp/parse
+         round-trips are exact structural identity *)
       let max_case = if cfg.allow_counting then 7 else 6 in
       match Random.State.int st max_case with
-      | 0 -> Formula.Not (go vars (depth - 1))
-      | 1 -> Formula.And [ go vars (depth - 1); go vars (depth - 1) ]
-      | 2 -> Formula.Or [ go vars (depth - 1); go vars (depth - 1) ]
-      | 3 -> Formula.Implies (go vars (depth - 1), go vars (depth - 1))
+      | 0 -> Formula.not_ (go vars (depth - 1))
+      | 1 -> Formula.and_ [ go vars (depth - 1); go vars (depth - 1) ]
+      | 2 -> Formula.or_ [ go vars (depth - 1); go vars (depth - 1) ]
+      | 3 -> Formula.implies (go vars (depth - 1)) (go vars (depth - 1))
       | 4 ->
           let v = Printf.sprintf "b%d" (Random.State.int st 3) in
-          Formula.Exists (v, go (v :: vars) (depth - 1))
+          Formula.exists v (go (v :: vars) (depth - 1))
       | 5 ->
           let v = Printf.sprintf "b%d" (Random.State.int st 3) in
-          Formula.Forall (v, go (v :: vars) (depth - 1))
+          Formula.forall v (go (v :: vars) (depth - 1))
       | _ ->
           let v = Printf.sprintf "b%d" (Random.State.int st 3) in
-          Formula.CountGe
-            (1 + Random.State.int st 3, v, go (v :: vars) (depth - 1))
+          Formula.count_ge
+            (1 + Random.State.int st 3)
+            v
+            (go (v :: vars) (depth - 1))
     end
   in
   go cfg.free_vars cfg.max_depth

@@ -12,7 +12,10 @@ val default : config
 (** free vars [x, y], colours [Red; Blue], depth 4, no counting. *)
 
 val formula : ?config:config -> seed:int -> unit -> Formula.t
-(** A random formula (deterministic per seed). *)
+(** A random formula (deterministic per seed).  Built through the
+    smart constructors, so the result is a fixpoint of the parser's
+    normalisation: [Parser.parse (Formula.to_string f)] is structurally
+    [f], not merely equivalent. *)
 
 val sentence : ?config:config -> seed:int -> unit -> Formula.t
 (** A random {e sentence}: a random formula with one free variable,

@@ -12,6 +12,7 @@ type reason =
   | Ball_cap
   | Catalogue_cap
   | Injected_fault
+  | Interrupted
 
 let checkpoint_to_string = function
   | Solver_loop -> "solver_loop"
@@ -27,6 +28,7 @@ let reason_to_string = function
   | Ball_cap -> "ball_cap"
   | Catalogue_cap -> "catalogue_cap"
   | Injected_fault -> "injected_fault"
+  | Interrupted -> "interrupted"
 
 let all_checkpoints =
   [ Solver_loop; Hintikka_build; Bfs_frontier; Catalogue_growth; Eval_step ]
@@ -162,6 +164,29 @@ end
    handler is [run], so exhaustion cannot escape to callers. *)
 exception Exhausted_internal
 
+(* The stop signal is a control-flow edge, not a worker fault: a [Par]
+   chunk that unwinds on it must not be re-attempted (a retried chunk
+   would immediately unwind again, and fault-plan determinism relies on
+   hit counts advancing exactly once). *)
+let () =
+  Par.register_no_retry (function Exhausted_internal -> true | _ -> false)
+
+(* Process-wide interrupt request (SIGINT/SIGTERM from the CLI's signal
+   handler, which must stay async-signal-safe: it only sets this flag).
+   The budgeted tick path converts it into an [Interrupted] trip, so a
+   signal unwinds exactly like exhaustion — cooperatively, with
+   salvage. *)
+let interrupt_flag = Atomic.make false
+let interrupt () = Atomic.set interrupt_flag true
+let interrupt_requested () = Atomic.get interrupt_flag
+let clear_interrupt () = Atomic.set interrupt_flag false
+
+(* An optional hook run after every surviving budgeted tick — the
+   checkpoint-cadence writer of [Resil] attaches here.  Firing only on
+   the budgeted path keeps the no-budget tick at one load + branch. *)
+let tick_hook : (unit -> unit) option Atomic.t = Atomic.make None
+let set_tick_hook h = Atomic.set tick_hook h
+
 (* [Atomic] rather than a plain ref: pool workers read the installed
    budget concurrently with the main domain (un)installing it. *)
 let current : state option Atomic.t = Atomic.make None
@@ -202,6 +227,7 @@ let tick_st st cost cp =
   (* cooperative cancellation: once any worker trips, every other
      worker unwinds at its next checkpoint *)
   if Option.is_some (Atomic.get st.tripped) then raise Exhausted_internal;
+  if Atomic.get interrupt_flag then trip st Interrupted cp;
   let fuel = Atomic.fetch_and_add st.fuel_used cost + cost in
   let i = checkpoint_index cp in
   let hit = Atomic.fetch_and_add st.hits.(i) 1 + 1 in
@@ -209,7 +235,8 @@ let tick_st st cost cp =
   (match st.fuel_limit with
   | Some limit when fuel > limit -> trip st Out_of_fuel cp
   | _ -> ());
-  check_deadline st cp
+  check_deadline st cp;
+  match Atomic.get tick_hook with None -> () | Some h -> h ()
 
 let tick ?(cost = 1) cp =
   match Atomic.get current with None -> () | Some st -> tick_st st cost cp

@@ -47,6 +47,7 @@ type reason =
   | Ball_cap  (** a neighbourhood ball grew past the cap *)
   | Catalogue_cap  (** the catalogue grew past the cap *)
   | Injected_fault  (** a {!Faults} plan fired *)
+  | Interrupted  (** {!interrupt} was requested (SIGINT/SIGTERM) *)
 
 val checkpoint_to_string : checkpoint -> string
 val reason_to_string : reason -> string
@@ -146,6 +147,28 @@ val note_ball : int -> unit
 val note_catalogue : int -> unit
 (** Report the catalogue size; trips [Catalogue_cap] above
     [max_catalogue].  Also a [Catalogue_growth] tick. *)
+
+(** {1 Interrupts}
+
+    A POSIX signal handler may only do async-signal-safe work, so the
+    CLI's SIGINT/SIGTERM handler just calls {!interrupt}.  The next
+    budgeted {!tick} on any domain converts the flag into an
+    [Interrupted] trip: the run unwinds to {!run} cooperatively, the
+    salvage hook recovers the best-so-far answer, and the caller can
+    flush a final checkpoint before exiting. *)
+
+val interrupt : unit -> unit
+(** Request a cooperative stop (async-signal-safe: one atomic store). *)
+
+val interrupt_requested : unit -> bool
+val clear_interrupt : unit -> unit
+
+val set_tick_hook : (unit -> unit) option -> unit
+(** Install (or remove, with [None]) a hook run after every surviving
+    budgeted tick, on whichever domain ticked.  Used by the checkpoint
+    cadence writer ([Resil.Ctl]); the hook must be cheap, re-entrant
+    across domains, and must not raise.  Unbudgeted ticks never invoke
+    it, so the no-budget hot path is unchanged. *)
 
 (** {1 Running under a budget} *)
 

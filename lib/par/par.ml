@@ -152,11 +152,47 @@ let default () =
 (* Combinators                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Fault isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker exception poisons only its own task: the task is re-queued
+   and retried (bounded attempts, preferring a different slot) before
+   its failure becomes final.  Exceptions that are deterministic by
+   construction — programmer errors, and anything a subsystem registers
+   via [register_no_retry] (Guard's internal stop signal) — skip the
+   retries: re-running them is pure waste, and for Guard it would
+   perturb deterministic fault accounting. *)
+
+let max_attempts = 3
+
+let no_retry_predicates : (exn -> bool) list ref = ref []
+let register_no_retry p = no_retry_predicates := p :: !no_retry_predicates
+
+let non_retryable e =
+  (match e with
+  | Invalid_argument _ | Assert_failure _ | Match_failure _ | Not_found
+  | Out_of_memory | Stack_overflow ->
+      true
+  | _ -> false)
+  || List.exists (fun p -> p e) !no_retry_predicates
+
+let task_retries = Obs.Metric.counter "par.task_retries"
+
 let run (t : Pool.t) ~tasks f =
   if tasks > 0 then
     if t.Pool.size <= 1 || tasks = 1 || t.Pool.stopping then
+      (* the inline path honours the same fault-isolation contract as
+         the pooled one: a retryable exception gets [max_attempts]
+         tries before it propagates *)
       for i = 0 to tasks - 1 do
-        f i
+        let rec attempt k =
+          try f i
+          with e when k < max_attempts && not (non_retryable e) ->
+            Obs.Metric.incr task_retries;
+            attempt (k + 1)
+        in
+        attempt 1
       done
     else
       Obs.Span.with_ "par.run"
@@ -166,36 +202,101 @@ let run (t : Pool.t) ~tasks f =
       @@ fun () ->
       let next = Atomic.make 0 in
       let completed = Atomic.make 0 in
-      let failure : (int * exn) option Atomic.t = Atomic.make None in
+      let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+        Atomic.make None
+      in
       (* keep the lowest-indexed failure, whatever the completion order *)
-      let rec record_failure i e =
+      let rec record_failure i e bt =
         match Atomic.get failure with
-        | Some (j, _) when j <= i -> ()
+        | Some (j, _, _) when j <= i -> ()
         | cur ->
-            if not (Atomic.compare_and_set failure cur (Some (i, e))) then
-              record_failure i e
+            if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then
+              record_failure i e bt
+      in
+      (* retry queue: tasks whose last attempt raised a retryable
+         exception, tagged with the slot that failed so another slot
+         picks them up first (best-effort: the failing slot itself
+         drains its own entries once fresh indices run out, so progress
+         never depends on a second live worker). *)
+      let retry_m = Mutex.create () in
+      let retries :
+          (int * int * int * exn * Printexc.raw_backtrace) list ref =
+        ref []
+      in
+      let push_retry entry =
+        Mutex.lock retry_m;
+        retries := entry :: !retries;
+        Mutex.unlock retry_m
+      in
+      let take_retry ~slot ~any =
+        Mutex.lock retry_m;
+        let rec pick acc = function
+          | [] -> None
+          | ((_, _, s, _, _) as r) :: rest when any || s <> slot ->
+              retries := List.rev_append acc rest;
+              Some r
+          | r :: rest -> pick (r :: acc) rest
+        in
+        let r = pick [] !retries in
+        Mutex.unlock retry_m;
+        r
+      in
+      let executed = Array.make t.Pool.size 0 in
+      (* run attempt [attempt] of task [i]; settles the task (bumps
+         [completed]) unless it was re-queued for another try *)
+      let exec ~slot i attempt last_exn =
+        let settle () = ignore (Atomic.fetch_and_add completed 1) in
+        if Atomic.get failure <> None then begin
+          (* after a final failure, drain without running: the run's
+             result is that failure anyway — but a task that already
+             raised must still be recorded, or a transient fault at a
+             low index could be masked by a final failure at a higher
+             one *)
+          (match last_exn with
+          | Some (e, bt) -> record_failure i e bt
+          | None -> ());
+          settle ()
+        end
+        else
+          match f i with
+          | () ->
+              executed.(slot) <- executed.(slot) + 1;
+              settle ()
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              executed.(slot) <- executed.(slot) + 1;
+              if attempt >= max_attempts || non_retryable e then begin
+                record_failure i e bt;
+                settle ()
+              end
+              else begin
+                Obs.Metric.incr task_retries;
+                push_retry (i, attempt + 1, slot, e, bt)
+              end
       in
       let claim ~slot =
-        let executed = ref 0 in
         let continue = ref true in
         while !continue do
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= tasks then continue := false
-          else begin
-            (* after a failure, drain remaining indices without running
-               them: the run's result is the failure anyway *)
-            if Atomic.get failure = None then begin
-              (try f i with e -> record_failure i e);
-              incr executed
-            end;
-            ignore (Atomic.fetch_and_add completed 1)
-          end
+          match take_retry ~slot ~any:false with
+          | Some (i, attempt, _, e, bt) -> exec ~slot i attempt (Some (e, bt))
+          | None -> (
+              let i = Atomic.fetch_and_add next 1 in
+              if i < tasks then exec ~slot i 1 None
+              else
+                (* fresh work is gone; drain retries banned for this
+                   slot too, then exit *)
+                match take_retry ~slot ~any:true with
+                | Some (i, attempt, _, e, bt) ->
+                    exec ~slot i attempt (Some (e, bt))
+                | None -> continue := false)
         done;
-        if !executed > 0 && Obs.Sink.enabled () then
-          Obs.Metric.add t.Pool.slot_counters.(slot) !executed
+        if executed.(slot) > 0 && Obs.Sink.enabled () then
+          Obs.Metric.add t.Pool.slot_counters.(slot) executed.(slot)
       in
       Pool.drive t ~tasks ~claim ~completed;
-      match Atomic.get failure with Some (_, e) -> raise e | None -> ()
+      match Atomic.get failure with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
 
 let map_tasks t ~tasks f =
   if tasks = 0 then [||]

@@ -53,9 +53,35 @@ val default : unit -> Pool.t
 
 val run : Pool.t -> tasks:int -> (int -> unit) -> unit
 (** [run pool ~tasks f] executes [f 0 .. f (tasks-1)], work-stealing
-    across the pool.  Returns when every task has settled; re-raises the
-    lowest-indexed task's exception, if any.  Once a task has raised,
-    tasks not yet started are skipped. *)
+    across the pool.  Returns when every task has settled.
+
+    {b Fault isolation.}  A worker exception poisons only its own
+    task: the task is re-queued and retried (three attempts in total),
+    preferring a slot other than the one that failed — best-effort;
+    with a single live worker the failing slot retries its own task,
+    so progress never depends on a second worker.  A task still
+    failing after its last attempt makes the run fail: remaining tasks
+    are drained without running, and the exception of the
+    {e lowest-indexed} finally-failing task is re-raised {b with the
+    worker's original backtrace}
+    ({!Printexc.raise_with_backtrace}) — matching the sequential run,
+    where the earliest failure wins.  Deterministic exceptions
+    ([Invalid_argument], [Assert_failure], [Match_failure],
+    [Not_found], [Out_of_memory], [Stack_overflow], and anything
+    registered via {!register_no_retry}) are never retried.
+
+    Retries re-run the whole task, so a task that both mutates shared
+    state and raises transiently may over-count side effects (the
+    solvers' tasks only publish results at the end, so their outputs
+    are unaffected).  A size-1 pool runs inline on the caller but
+    honours the same contract: retryable exceptions get the same
+    bounded attempts before propagating, so fault behaviour does not
+    depend on the pool size. *)
+
+val register_no_retry : (exn -> bool) -> unit
+(** Mark an exception class as not-a-fault: {!run} fails the task on
+    first raise instead of retrying.  Used by [Guard] for its internal
+    stop signal (a budget trip is control flow, not a crash). *)
 
 val map_tasks : Pool.t -> tasks:int -> (int -> 'a) -> 'a array
 (** Like {!run}, collecting results in index order. *)

@@ -17,6 +17,8 @@ HEADLINE = {
     "wall_time_s": (int, float),
     "model_check_calls": int,
     "hypotheses_enumerated": int,
+    "resumed": bool,
+    "checkpoint_writes": int,
     "rows": list,
     "metrics": dict,
 }
@@ -29,11 +31,19 @@ def fail(msg: str) -> None:
 
 
 def check(path: str) -> None:
+    # the bench writes telemetry with an atomic temp-file + rename, so a
+    # zero-length or truncated file means that protocol broke
     try:
-        with open(path) as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
         fail(f"{path}: {exc}")
+    if len(raw) == 0:
+        fail(f"{path}: zero-length file (torn or unflushed write)")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: truncated or partial JSON: {exc}")
     if not isinstance(doc, dict):
         fail(f"{path}: top level must be an object")
     for key, ty in HEADLINE.items():
@@ -47,6 +57,8 @@ def check(path: str) -> None:
         fail(f"{path}: negative wall_time_s")
     if doc["jobs"] < 1:
         fail(f"{path}: jobs must be >= 1")
+    if doc["checkpoint_writes"] < 0:
+        fail(f"{path}: negative checkpoint_writes")
     for section in METRIC_SECTIONS:
         if not isinstance(doc["metrics"].get(section), dict):
             fail(f"{path}: metrics.{section} missing or not an object")

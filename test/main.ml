@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.suite);
       ("guard", Test_guard.suite);
       ("par", Test_par.suite);
+      ("resil", Test_resil.suite);
     ]

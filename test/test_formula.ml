@@ -224,6 +224,24 @@ let parser_roundtrip =
                 [ 0; 1; 2; 3 ])
             [ 0; 1; 2; 3 ])
 
+(* Genform builds through the same smart constructors the parser
+   normalises with, so on that class the round-trip is exact structural
+   identity, not just semantic equivalence. *)
+let parser_exact_roundtrip =
+  QCheck.Test.make ~name:"parse . pp = id over Genform" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let f = Fo.Genform.formula ~seed () in
+      Fo.Parser.parse_opt (F.to_string f) = Some f)
+
+let parser_exact_roundtrip_counting =
+  QCheck.Test.make ~name:"parse . pp = id over counting Genform" ~count:300
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Fo.Genform.default with allow_counting = true } in
+      let f = Fo.Genform.formula ~config ~seed () in
+      Fo.Parser.parse_opt (F.to_string f) = Some f)
+
 let nnf_preserves_semantics =
   QCheck.Test.make ~name:"nnf and simplify preserve semantics" ~count:120
     QCheck.(int_range 0 10000)
@@ -361,6 +379,8 @@ let suite =
     Alcotest.test_case "gaifman radius" `Quick test_gaifman_radius;
     Alcotest.test_case "rank overhead" `Quick test_rank_overhead;
     QCheck_alcotest.to_alcotest parser_roundtrip;
+    QCheck_alcotest.to_alcotest parser_exact_roundtrip;
+    QCheck_alcotest.to_alcotest parser_exact_roundtrip_counting;
     QCheck_alcotest.to_alcotest nnf_preserves_semantics;
     QCheck_alcotest.to_alcotest relativize_is_local;
   ]

@@ -81,6 +81,74 @@ let lowest_failure_wins () =
   | () -> Alcotest.fail "expected a failure to propagate"
   | exception Failure m -> check "lowest-indexed failure re-raised" true (m = "1")
 
+(* ------------------------------------------------------------------ *)
+(* Fault isolation: bounded retries, original backtrace                *)
+(* ------------------------------------------------------------------ *)
+
+let transient_fault_retried () =
+  with_pool ~jobs:4 @@ fun pool ->
+  (* one task fails on its first attempt only: the bounded retry must
+     absorb it and the run must complete with every result intact
+     (holds at any pool size — the inline path retries too) *)
+  let first = Atomic.make true in
+  let r =
+    Par.map_tasks pool ~tasks:32 (fun i ->
+        if i = 5 && Atomic.exchange first false then failwith "transient";
+        i * 2)
+  in
+  Array.iteri (fun i v -> check_int "results intact" (i * 2) v) r
+
+let permanent_fault_bounded () =
+  with_pool ~jobs:4 @@ fun pool ->
+  let attempts = Atomic.make 0 in
+  (match
+     Par.run pool ~tasks:16 (fun i ->
+         if i = 3 then begin
+           Atomic.incr attempts;
+           failwith "permanent"
+         end)
+   with
+  | () -> Alcotest.fail "expected the permanent failure to propagate"
+  | exception Failure m -> check "original exception" true (m = "permanent"));
+  check_int "exactly max_attempts tries" 3 (Atomic.get attempts)
+
+let non_retryable_single_attempt () =
+  with_pool ~jobs:4 @@ fun pool ->
+  let attempts = Atomic.make 0 in
+  (match
+     Par.run pool ~tasks:8 (fun i ->
+         if i = 2 then begin
+           Atomic.incr attempts;
+           invalid_arg "programmer error"
+         end)
+   with
+  | () -> Alcotest.fail "expected Invalid_argument to propagate"
+  | exception Invalid_argument m ->
+      check "original exception" true (m = "programmer error"));
+  check_int "deterministic errors are not retried" 1 (Atomic.get attempts)
+
+let string_contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* a named, never-inlined raiser so its frame is recognisable in the
+   re-raised backtrace *)
+let[@inline never] backtrace_probe_raiser () = failwith "backtrace probe"
+
+let backtrace_preserved () =
+  Printexc.record_backtrace true;
+  with_pool ~jobs:4 @@ fun pool ->
+  match
+    Par.run pool ~tasks:8 (fun i -> if i = 4 then backtrace_probe_raiser ())
+  with
+  | () -> Alcotest.fail "expected the failure to propagate"
+  | exception Failure _ ->
+      (* raise_with_backtrace re-raises with the worker's original
+         trace: the probe's frame in this file must still be visible *)
+      check "worker frame survives the re-raise" true
+        (string_contains (Printexc.get_backtrace ()) "test_par")
+
 let inline_when_single () =
   (* a size-1 pool must not spawn: it runs inline on the caller *)
   with_pool ~jobs:1 @@ fun pool ->
@@ -237,6 +305,14 @@ let suite =
       map_reduce_matches_fold;
     Alcotest.test_case "lowest-indexed failure is re-raised" `Quick
       lowest_failure_wins;
+    Alcotest.test_case "transient worker fault absorbed by retry" `Quick
+      transient_fault_retried;
+    Alcotest.test_case "permanent fault propagates after bounded retries"
+      `Quick permanent_fault_bounded;
+    Alcotest.test_case "non-retryable exceptions fail fast" `Quick
+      non_retryable_single_attempt;
+    Alcotest.test_case "re-raise preserves the worker backtrace" `Quick
+      backtrace_preserved;
     Alcotest.test_case "jobs=1 runs inline on the caller" `Quick
       inline_when_single;
   ]
