@@ -1181,6 +1181,138 @@ let e17 () =
      fsync'd snapshot per [every] settled candidates.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E18: static plan calibration (focost)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay Analysis.Plan envelopes against the Obs counters of real
+   runs.  Acceptance: every observed quantity lies inside its predicted
+   [lo, hi] envelope; for the exact solvers (brute, counting) lo = hi =
+   observed (calibration factor 1.0); for local and nd the documented
+   calibration is the bracket itself, with the hi/observed looseness
+   ratio reported per row (the nd branch-and-bound hi is a worst-case
+   game-tree bound, so factors of 10^3..10^5 are expected and fine —
+   the *sound* side used for admission is lo, which is tight). *)
+
+let e18 () =
+  header "E18  static plan calibration (predicted vs observed spend)";
+  let module Plan = Analysis.Plan in
+  let module Count = Analysis.Cost_model.Count in
+  let module Env = Analysis.Cost_model.Env in
+  let counter snap name = Obs.Metric.find_counter snap name in
+  let configs =
+    [
+      ("brute", `Brute, Gen.path 12, 1, 1);
+      ("brute", `Brute, Gen.random_tree ~seed:7 18, 1, 2);
+      ("counting", `Counting, Gen.path 12, 1, 1);
+      ("local", `Local, Gen.random_tree ~seed:11 18, 1, 1);
+      ("local", `Local, Gen.path 12, 1, 1);
+      ("nd", `Nd, Gen.path 10, 1, 1);
+    ]
+  in
+  row "%-10s %6s %14s %14s %14s %8s %8s\n" "solver" "n" "fuel lo" "fuel seen"
+    "fuel hi" "bracket" "factor";
+  let all_ok = ref true in
+  List.iter
+    (fun (name, solver, g, ell, q) ->
+      let k = 1 in
+      let lam =
+        Sam.label_with g ~target:(fun v -> v.(0) mod 3 = 0)
+          (Sam.all_tuples g ~k)
+      in
+      let inp = Plan.input g ~k ~ell ~q (List.map fst lam) in
+      let p =
+        Plan.analyze inp
+          (match solver with
+          | `Brute -> Plan.Brute
+          | `Counting -> Plan.Counting
+          | `Local -> Plan.Local
+          | `Nd -> Plan.Nd)
+      in
+      let before = Obs.Metric.snapshot () in
+      let budget = Guard.Budget.unlimited () in
+      (match solver with
+      | `Brute ->
+          ignore (Brute.solve_budgeted ~budget g ~k ~ell ~q lam)
+      | `Counting ->
+          ignore
+            (Folearn.Erm_counting.solve_budgeted ~budget g ~k ~ell ~q ~tmax:2
+               lam)
+      | `Local ->
+          ignore (Folearn.Erm_local.solve_budgeted ~budget g ~k ~ell ~q lam)
+      | `Nd ->
+          let cls = Splitter.Nowhere_dense.of_graph "e18" g in
+          let cfg =
+            Nd.default_config ~radius:1 ~k ~ell_star:(max 1 ell) ~q_star:q cls
+          in
+          ignore (Nd.solve_budgeted ~budget cfg g lam));
+      let after = Obs.Metric.snapshot () in
+      let spent = Guard.Budget.spent budget in
+      let delta cname = counter after cname - counter before cname in
+      let observed_evals =
+        delta "modelcheck.types.tp_misses"
+        + delta "modelcheck.types.ltp_misses"
+      in
+      let observed_hyp = delta "erm.hypotheses_enumerated" in
+      let inside (e : Env.t) v =
+        Count.leq e.Env.lo (Count.of_int v)
+        && Count.leq (Count.of_int v) e.Env.hi
+      in
+      (* table/ball envelopes are capacity bounds: observed *peaks* are
+         memo-insertion-order dependent and may undershoot lo by a row,
+         so only the admission-relevant side (observed <= hi) is checked *)
+      let capped (e : Env.t) v = Count.leq (Count.of_int v) e.Env.hi in
+      let fuel_ok = inside p.Plan.fuel_total spent.Guard.fuel in
+      let hyp_ok = inside p.Plan.hypotheses observed_hyp in
+      let evals_ok = inside p.Plan.type_evals observed_evals in
+      let table_ok = capped p.Plan.table_total spent.Guard.table_rows in
+      let ball_ok = capped p.Plan.ball_total spent.Guard.ball_peak in
+      let ok = fuel_ok && hyp_ok && evals_ok && table_ok && ball_ok in
+      if not ok then all_ok := false;
+      let cint c =
+        match Count.to_int_opt c with Some v -> string_of_int v | None -> "sat"
+      in
+      let factor =
+        match Count.to_int_opt p.Plan.fuel_total.Env.hi with
+        | Some hi when spent.Guard.fuel > 0 ->
+            float_of_int hi /. float_of_int spent.Guard.fuel
+        | _ -> Float.infinity
+      in
+      add_row
+        [
+          ("solver", jstr name);
+          ("n", jint (Graph.order g));
+          ("ell", jint ell);
+          ("q", jint q);
+          ("exact", Obs.Json.Bool p.Plan.exact);
+          ("fuel_lo", jstr (cint p.Plan.fuel_total.Env.lo));
+          ("fuel_hi", jstr (cint p.Plan.fuel_total.Env.hi));
+          ("fuel_observed", jint spent.Guard.fuel);
+          ("hypotheses_observed", jint observed_hyp);
+          ("type_evals_observed", jint observed_evals);
+          ("table_observed", jint spent.Guard.table_rows);
+          ("ball_observed", jint spent.Guard.ball_peak);
+          ("fuel_factor", jfloat factor);
+          ("fuel_ok", Obs.Json.Bool fuel_ok);
+          ("hypotheses_ok", Obs.Json.Bool hyp_ok);
+          ("type_evals_ok", Obs.Json.Bool evals_ok);
+          ("table_ok", Obs.Json.Bool table_ok);
+          ("ball_ok", Obs.Json.Bool ball_ok);
+          ("within_envelope", Obs.Json.Bool ok);
+        ];
+      row "%-10s %6d %14s %14d %14s %8s %8.2f\n" name (Graph.order g)
+        (cint p.Plan.fuel_total.Env.lo)
+        spent.Guard.fuel
+        (cint p.Plan.fuel_total.Env.hi)
+        (if ok then "ok" else "FAIL") factor)
+    configs;
+  add_row [ ("all_within_envelope", Obs.Json.Bool !all_ok) ];
+  row
+    "acceptance: every observed counter (fuel, hypotheses, type \
+     evaluations, table rows, ball peak) inside its predicted envelope; \
+     brute/counting envelopes are exact (factor 1.00).%s\n"
+    (if !all_ok then "" else "  CALIBRATION FAILED")
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1189,7 +1321,8 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("micro", micro); ("overhead", overhead);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("micro", micro);
+    ("overhead", overhead);
   ]
 
 let () =

@@ -2,6 +2,7 @@
 
    Subcommands:
      learn   learn a first-order query from examples labelled by a target
+     plan    static cost analysis of a learn run (focost)
      mc      model checking, directly or through the ERM oracle (Thm 1)
      strings MSO on strings: model checking and learning ([21])
      trees   MSO on trees: model checking and node concepts ([19])
@@ -197,6 +198,18 @@ let max_ball_arg =
     & opt (some int) None
     & info [ "max-ball" ] ~docv:"VERTICES"
         ~doc:"Cap on the size of any neighbourhood ball.")
+
+(* admission control: a declared budget that is provably below the
+   static first-settle floor ([Analysis.Plan]) is rejected before any
+   fuel burns; --no-precheck restores the plain doomed burn *)
+let no_precheck_arg =
+  Arg.(
+    value & flag
+    & info [ "no-precheck" ]
+        ~doc:
+          "Skip the static admission precheck: run even when the declared \
+           budget is provably too small to settle a first answer (see \
+           $(b,folearn plan)).")
 
 (* parallelism: --jobs on the compute-heavy subcommands.  The flag
    overrides the FOLEARN_JOBS environment variable; with neither given
@@ -425,8 +438,9 @@ let learn_cmd =
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let run g colors target k ell q solver tmax noise m seed fuel timeout
-      max_table max_ball jobs ckpt_opts trace stats stats_json =
+      max_table max_ball no_precheck jobs ckpt_opts trace stats stats_json =
     apply_jobs jobs;
+    let precheck = not no_precheck in
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let target = parse_formula_or_exit ~cmd:"learn" ~flag:"--target" target in
     let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
@@ -503,7 +517,8 @@ let learn_cmd =
     match solver with
     | `Brute ->
         conclude
-          (Folearn.Erm_brute.solve_budgeted ?budget ~ckpt g ~k ~ell ~q lam)
+          (Folearn.Erm_brute.solve_budgeted ?budget ~precheck ~ckpt g ~k ~ell
+             ~q lam)
           (fun (r : Folearn.Erm_brute.result) ->
             Format.printf
               "solver: Prop 11 exact ERM (tried %d parameter tuples)@."
@@ -517,7 +532,8 @@ let learn_cmd =
           Folearn.Erm_nd.default_config ~radius:1 ~k ~ell_star:(max 1 ell)
             ~q_star:q cls
         in
-        conclude (Folearn.Erm_nd.solve_budgeted ?budget ~ckpt cfg g lam)
+        conclude
+          (Folearn.Erm_nd.solve_budgeted ?budget ~precheck ~ckpt cfg g lam)
           (fun (rep : Folearn.Erm_nd.report) ->
             Format.printf
               "solver: Theorem 13 (rounds %d, branches %d, ell used %d, rank \
@@ -530,8 +546,8 @@ let learn_cmd =
               (Folearn.Hypothesis.params rep.Folearn.Erm_nd.hypothesis))
     | `Counting ->
         conclude
-          (Folearn.Erm_counting.solve_budgeted ?budget ~ckpt g ~k ~ell ~q
-             ~tmax lam)
+          (Folearn.Erm_counting.solve_budgeted ?budget ~precheck ~ckpt g ~k
+             ~ell ~q ~tmax lam)
           (fun (r : Folearn.Erm_counting.result) ->
             Format.printf
               "solver: exact counting ERM (FOC, thresholds <= %d; tried %d \
@@ -559,8 +575,8 @@ let learn_cmd =
                hand-offs have no stable candidate numbering) and runs
                the local solver directly under the budget *)
             conclude
-              (Folearn.Erm_local.solve_budgeted ?budget ~ckpt g ~k ~ell ~q
-                 lam)
+              (Folearn.Erm_local.solve_budgeted ?budget ~precheck ~ckpt g ~k
+                 ~ell ~q lam)
               (fun (r : Folearn.Erm_local.result) ->
                 Format.printf
                   "solver: sublinear local learner (pool %d, touched %d of \
@@ -594,7 +610,7 @@ let learn_cmd =
               Format.printf "parameters: %a@." Graph.Tuple.pp
                 (Folearn.Hypothesis.params l.Folearn.Degrade.hypothesis)
             in
-            match Folearn.Degrade.learn ?budget g ~k ~ell ~q lam with
+            match Folearn.Degrade.learn ?budget ~precheck g ~k ~ell ~q lam with
             | Guard.Complete l ->
                 print l;
                 if l.Folearn.Degrade.degraded then exit_degraded else 0
@@ -615,12 +631,240 @@ let learn_cmd =
     Term.(
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
       $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ fuel_arg
-      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term
-      $ trace_arg $ stats_arg $ stats_json_arg)
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ no_precheck_arg
+      $ jobs_arg $ ckpt_term $ trace_arg $ stats_arg $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
     term
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Static cost analysis ("focost"): analyze the run that `learn` with
+   the same arguments would execute — without burning a single unit of
+   fuel — and report symbolic cost envelopes per solver, the degrade
+   chain a budgeted --solver local run walks, a solver/jobs
+   recommendation, --fuel suggestions bracketing each exit code, and
+   (when budget flags are given) the predicted exit code with its
+   certainty.  --strict turns a provably infeasible budget into exit 1,
+   making `plan` usable as a pre-submit admission gate. *)
+
+let plan_cmd =
+  let module Plan = Analysis.Plan in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "target" ] ~docv:"FORMULA"
+          ~doc:
+            "Target query over x1..xk.  Validated like $(b,learn) does; \
+             the cost plan itself depends only on the example tuples, \
+             never on the labels.")
+  in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Arity of examples.") in
+  let ell_arg =
+    Arg.(value & opt int 0 & info [ "l"; "ell" ] ~doc:"Parameter budget.")
+  in
+  let q_arg =
+    Arg.(value & opt int 1 & info [ "q" ] ~doc:"Quantifier-rank budget.")
+  in
+  let solver_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("brute", `Brute); ("nd", `Nd); ("counting", `Counting);
+               ("local", `Local);
+             ])
+          `Brute
+      & info [ "solver" ]
+          ~doc:
+            "Solver whose run the top-level prediction covers (all four \
+             are always analyzed).  $(b,local) with budget flags is \
+             predicted through the degradation chain, exactly as \
+             $(b,learn) executes it.")
+  in
+  let tmax_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "tmax" ]
+          ~doc:"Counting-threshold cap for $(b,--solver counting).")
+  in
+  let m_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "m" ]
+          ~doc:"Sample size (0 = label every tuple of the graph).")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("sarif", `Sarif) ]) `Json
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,json) (the full plan) or $(b,sarif) \
+             (admission diagnostics only, SARIF 2.1.0).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit 1 when the declared budget is provably infeasible for \
+             the selected solver (the admission precheck would reject \
+             the run).")
+  in
+  let run g colors target k ell q solver tmax m seed fuel timeout max_table
+      max_ball format strict =
+    let g = with_cli_colors g colors in
+    (match target with
+    | None -> ()
+    | Some t -> (
+        let t = parse_formula_or_exit ~cmd:"plan" ~flag:"--target" t in
+        let xvars = Folearn.Hypothesis.xvars k in
+        match
+          Analysis.Diagnostic.errors
+            (Analysis.Fo_check.check
+               ~vocab:(Analysis.Vocab.of_graph g)
+               ~allowed_free:xvars t)
+        with
+        | [] -> ()
+        | errs ->
+            Format.eprintf
+              "folearn plan: the target must be a query over x1..x%d in \
+               the graph's vocabulary:@.%s@."
+              k
+              (Analysis.Diagnostic.render_list errs);
+            exit 2));
+    let module Sam = Folearn.Sample in
+    let tuples =
+      if m = 0 then Sam.all_tuples g ~k else Sam.random_tuples ~seed g ~k ~m
+    in
+    let inp = Plan.input ~tmax g ~k ~ell ~q tuples in
+    let solvers = [ Plan.Brute; Plan.Local; Plan.Nd; Plan.Counting ] in
+    let plans = List.map (Plan.analyze inp) solvers in
+    let chain = Plan.degrade_stages inp in
+    let limits = Plan.limits ?fuel ?timeout_s:timeout ?max_table ?max_ball () in
+    let has_limits =
+      fuel <> None || timeout <> None || max_table <> None || max_ball <> None
+    in
+    let selected =
+      match solver with
+      | `Brute -> Plan.Brute
+      | `Nd -> Plan.Nd
+      | `Counting -> Plan.Counting
+      | `Local -> Plan.Local
+    in
+    let selected_plan = Plan.analyze inp selected in
+    (* the budgeted local path of `learn` runs the degradation chain,
+       so its prediction and admission must use chain semantics *)
+    let chain_mode = selected = Plan.Local && has_limits in
+    let prediction =
+      if chain_mode then Plan.predict_chain chain limits
+      else Plan.predict selected_plan limits
+    in
+    let rejection =
+      if not has_limits then None
+      else if chain_mode then
+        Plan.precheck_chain ~what:"plan" chain limits
+      else Plan.precheck ~what:"plan" selected_plan limits
+    in
+    let module J = Obs.Json in
+    (match format with
+    | `Sarif ->
+        let artifact =
+          match target with Some _ -> "--target" | None -> "<plan>"
+        in
+        let diags =
+          match rejection with
+          | Some r -> [ r.Plan.diagnostic ]
+          | None -> []
+        in
+        print_string (Analysis.Sarif.to_string ~tool:"focost" [ (artifact, diags) ]);
+        print_newline ()
+    | `Json ->
+        let solver_entry s p =
+          ( Plan.solver_name s,
+            J.Obj
+              [
+                ("plan", Plan.to_json p);
+                ("suggested_fuel", Plan.suggestion_to_json (Plan.suggest_fuel p));
+                ("prediction", Plan.prediction_to_json (Plan.predict p limits));
+              ] )
+        in
+        let opt_int = function None -> J.Null | Some v -> J.Int v in
+        let doc =
+          J.Obj
+            [
+              ("graph", Stats.to_json (Stats.probe g));
+              ( "params",
+                J.Obj
+                  [
+                    ("k", J.Int k); ("ell", J.Int ell); ("q", J.Int q);
+                    ("tmax", J.Int tmax);
+                    ("examples", J.Int (List.length tuples));
+                    ("solver", J.String (Plan.solver_name selected));
+                  ] );
+              ( "limits",
+                J.Obj
+                  [
+                    ("fuel", opt_int fuel);
+                    ( "timeout_s",
+                      match timeout with
+                      | None -> J.Null
+                      | Some t -> J.Float t );
+                    ("max_table", opt_int max_table);
+                    ("max_ball", opt_int max_ball);
+                  ] );
+              ("solvers", J.Obj (List.map2 solver_entry solvers plans));
+              ( "degrade_chain",
+                J.Obj
+                  [
+                    ("stages", J.List (List.map Plan.to_json chain));
+                    ( "suggested_fuel",
+                      Plan.suggestion_to_json (Plan.suggest_fuel_chain chain) );
+                    ( "prediction",
+                      Plan.prediction_to_json (Plan.predict_chain chain limits)
+                    );
+                  ] );
+              ( "recommendation",
+                Plan.recommendation_to_json (Plan.recommend plans) );
+              ("prediction", Plan.prediction_to_json prediction);
+              ( "admitted",
+                J.Bool (match rejection with None -> true | Some _ -> false) );
+              ( "rejection",
+                match rejection with
+                | None -> J.Null
+                | Some r ->
+                    J.Obj
+                      [
+                        ("resource", J.String r.Plan.resource);
+                        ("limit", J.Int r.Plan.limit);
+                        ("message", J.String r.Plan.message);
+                      ] );
+            ]
+        in
+        print_string (J.to_string doc);
+        print_newline ());
+    match rejection with
+    | Some r when strict ->
+        Format.eprintf "folearn plan: %s@." r.Plan.message;
+        1
+    | _ -> 0
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Static cost analysis: predict the spend, exit code and best \
+          solver of a $(b,learn) run without executing it.")
+    Term.(
+      const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg
+      $ q_arg $ solver_arg $ tmax_arg $ m_arg $ seed_arg $ fuel_arg
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ format_arg $ strict_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mc                                                                  *)
@@ -639,8 +883,8 @@ let mc_cmd =
       & info [ "via-erm" ]
           ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
   in
-  let run g colors phi via_erm fuel timeout max_table max_ball jobs ckpt_opts
-      trace stats stats_json =
+  let run g colors phi via_erm fuel timeout max_table max_ball no_precheck
+      jobs ckpt_opts trace stats stats_json =
     apply_jobs jobs;
     with_obs ~trace ~stats ~stats_json @@ fun () ->
     let phi = parse_formula_or_exit ~cmd:"mc" ~flag:"--formula" phi in
@@ -676,6 +920,7 @@ let mc_cmd =
                   (List.map string_of_int
                      stats.Folearn.Reduction.representative_sets)))
           (Folearn.Reduction.model_check_budgeted ?budget
+             ~precheck:(not no_precheck)
              ~oracle:Folearn.Reduction.exact_oracle g phi)
       else
         Guard.run ?budget
@@ -699,8 +944,8 @@ let mc_cmd =
     (Cmd.info "mc" ~doc:"First-order model checking (direct or via Theorem 1).")
     Term.(
       const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg $ fuel_arg
-      $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term
-      $ trace_arg $ stats_arg $ stats_json_arg)
+      $ timeout_arg $ max_table_arg $ max_ball_arg $ no_precheck_arg
+      $ jobs_arg $ ckpt_term $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* types                                                               *)
@@ -1179,8 +1424,12 @@ let lint_cmd =
   let format_arg =
     Arg.(
       value
-      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
-      & info [ "format" ] ~doc:"Output format: $(b,human) or $(b,json).")
+      & opt (enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ])
+          `Human
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,human), $(b,json), or $(b,sarif) (SARIF \
+             2.1.0, for code-scanning upload and editor ingestion).")
   in
   let strict_arg =
     Arg.(
@@ -1288,6 +1537,11 @@ let lint_cmd =
         || (strict && Diagnostic.warnings ds <> [])
       in
       (match format with
+      | `Sarif ->
+          print_string
+            (Sarif.to_string
+               (List.map (fun ((origin, _), ds) -> (origin, ds)) results));
+          print_newline ()
       | `Json ->
           Format.printf "[%s]@."
             (String.concat ", "
@@ -1398,6 +1652,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            learn_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd; strings_cmd;
-            trees_cmd; lint_cmd; stats_cmd;
+            learn_cmd; plan_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd;
+            strings_cmd; trees_cmd; lint_cmd; stats_cmd;
           ]))

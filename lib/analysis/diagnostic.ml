@@ -58,6 +58,9 @@ let rules =
     { id = "cost-metadata"; default_severity = Hint;
       doc = "informational per-formula cost estimate (rank, locality \
              radius, Hintikka-table bound) as a JSON message" };
+    { id = "budget-infeasible"; default_severity = Error;
+      doc = "declared resource budget is provably below the sound \
+             first-settle floor of the planned run (admission precheck)" };
   ]
 
 let default_severity id =

@@ -75,7 +75,12 @@
        estimates (quantifier rank, syntactic or Gaifman locality radius,
        a log2 bound on the rank-q Hintikka type table) encoded as a JSON
        object in the message.  Emitted only on request
-       ([lint --cost] / {!Fo_check.cost_diagnostic}); never a failure.}} *)
+       ([lint --cost] / {!Fo_check.cost_diagnostic}); never a failure.}
+    {- [budget-infeasible] (error) — {e admission}: the declared
+       resource budget ([--fuel]/[--max-table]/[--max-ball]) is provably
+       below the sound first-settle floor computed by the static planner
+       ({!Plan.precheck}); the run would exhaust with nothing to salvage,
+       so it is rejected up front ([--no-precheck] escapes).}} *)
 
 type severity = Error | Warning | Hint
 

@@ -509,8 +509,8 @@ type cost = {
   free_count : int;
   size : int;
   locality_radius : int option;
-  hintikka_log2 : float;
-  ramsey_r233_log2 : float;
+  hintikka_log2 : Cost_model.Log2.t;
+  ramsey_r233_log2 : Cost_model.Log2.t;
 }
 
 let colour_names f =
@@ -528,42 +528,12 @@ let colour_names f =
   go f;
   VSet.elements !acc
 
-(* log2 of the rank-q type-table bound T(q, k): a rank-q type is an
-   atomic signature over k variables together with a set of rank-(q-1)
-   types over k+1 variables, so
-     log2 T(0, k) = atoms(k)
-     log2 T(q, k) = atoms(k) + T(q-1, k+1)
-   with atoms(k) = k(k-1) + k*c (eq + edge per ordered pair, colour per
-   variable).  The tower explodes immediately; saturate to [infinity]
-   once an exponent leaves the float-representable range. *)
-let hintikka_log2 ~colors ~q ~k =
-  let atoms k = float_of_int ((k * (k - 1)) + (k * colors)) in
-  let rec log2_t q k =
-    if q <= 0 then atoms k
-    else
-      let sub = log2_t (q - 1) (k + 1) in
-      if sub > 62.0 then infinity else atoms k +. Float.exp2 sub
-  in
-  log2_t q k
-
-(* log2 of the Ramsey bound R(2, s, 3) <= floor(s! * e) + 1 that the
-   Lemma 7 hardness reduction consumes, with s = 2^[s_log2] colours
-   (one per distinct oracle-answer signature, bounded by the type
-   table).  Stirling: log2 s! ~ s (log2 s - log2 e) + (1/2) log2 (2 pi
-   s).  Like [hintikka_log2] this saturates to [infinity] (JSON null)
-   rather than wrapping — the native-int version of the same bound in
-   [Folearn.Ramsey] saturates to [Saturated] for the same reason. *)
-let ramsey_r233_log2 ~s_log2 =
-  if s_log2 > 62.0 then infinity
-  else begin
-    let s = Float.exp2 s_log2 in
-    if s < 2.0 then Float.log2 3.0 (* R(3) with one colour *)
-    else
-      let log2_e = Float.log2 (Float.exp 1.0) in
-      (s *. (s_log2 -. log2_e))
-      +. (0.5 *. Float.log2 (2.0 *. Float.pi *. s))
-      +. log2_e
-  end
+(* The tower bounds live in [Cost_model]; both saturate to an explicit
+   [Saturated] (serialised as the string "saturated") rather than to a
+   float infinity, which [Obs.Json] could only encode as [null] and
+   never parse back. *)
+let hintikka_log2 = Cost_model.hintikka_log2
+let ramsey_r233_log2 ~s_log2 = Cost_model.ramsey_r233_log2 ~s_log2
 
 let cost ?vocab phi =
   let rank = Formula.quantifier_rank phi in
@@ -600,10 +570,42 @@ let cost_json c =
         match c.locality_radius with
         | Some r -> Obs.Json.Int r
         | None -> Obs.Json.Null );
-      (* non-finite floats serialise as null = "beyond any table" *)
-      ("hintikka_log2", Obs.Json.Float c.hintikka_log2);
-      ("ramsey_r233_log2", Obs.Json.Float c.ramsey_r233_log2);
+      (* saturated bounds encode as the string "saturated", so the
+         round-trip through [Obs.Json] is lossless *)
+      ("hintikka_log2", Cost_model.Log2.to_json c.hintikka_log2);
+      ("ramsey_r233_log2", Cost_model.Log2.to_json c.ramsey_r233_log2);
     ]
+
+let cost_of_json j =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Obs.Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "cost_of_json: missing field %S" name)
+  in
+  let int_field name =
+    let* v = field name in
+    match Obs.Json.to_int_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "cost_of_json: field %S is not an int" name)
+  in
+  let* rank = int_field "quantifier_rank" in
+  let* free_count = int_field "free_variables" in
+  let* size = int_field "size" in
+  let* locality_radius =
+    let* v = field "locality_radius" in
+    match v with
+    | Obs.Json.Null -> Ok None
+    | v -> (
+        match Obs.Json.to_int_opt v with
+        | Some r -> Ok (Some r)
+        | None -> Error "cost_of_json: field \"locality_radius\" is not an int")
+  in
+  let* hintikka_log2 = Result.bind (field "hintikka_log2") Cost_model.Log2.of_json in
+  let* ramsey_r233_log2 =
+    Result.bind (field "ramsey_r233_log2") Cost_model.Log2.of_json
+  in
+  Ok { rank; free_count; size; locality_radius; hintikka_log2; ramsey_r233_log2 }
 
 let cost_diagnostic ?vocab phi =
   Diagnostic.make ~rule:"cost-metadata"

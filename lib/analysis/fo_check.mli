@@ -54,16 +54,17 @@ type cost = {
       (** syntactic radius when every quantifier is guarded
           ({!inferred_radius}), else the Gaifman bound [(7^q - 1)/2];
           [None] when even that overflows ([q > 21]) *)
-  hintikka_log2 : float;
+  hintikka_log2 : Cost_model.Log2.t;
       (** log2 upper bound on the rank-[q] Hintikka type table for this
-          formula's interface; [infinity] once the tower of exponents
-          saturates *)
-  ramsey_r233_log2 : float;
+          formula's interface ({!Cost_model.hintikka_log2});
+          [Saturated] — never a clamped finite value — once the tower
+          of exponents saturates *)
+  ramsey_r233_log2 : Cost_model.Log2.t;
       (** log2 of the Ramsey bound [R(2, s, 3) <= s!·e + 1] the Lemma 7
           reduction needs, with [s = 2^hintikka_log2] oracle-answer
-          colours (Stirling estimate); [infinity] — serialised as JSON
-          null — once it saturates, mirroring
-          [Folearn.Ramsey.Saturated] instead of wrapping *)
+          colours (Stirling estimate); [Saturated] as soon as any
+          factor saturates, mirroring [Folearn.Ramsey.Saturated]
+          instead of wrapping *)
 }
 
 val cost : ?vocab:Vocab.t -> Fo.Formula.t -> cost
@@ -71,6 +72,11 @@ val cost : ?vocab:Vocab.t -> Fo.Formula.t -> cost
     atoms appearing in the formula. *)
 
 val cost_json : cost -> Obs.Json.t
+(** Lossless: saturated bounds encode as the string ["saturated"], so
+    [cost_of_json (cost_json c) = Ok c] for every [c]. *)
+
+val cost_of_json : Obs.Json.t -> (cost, string) result
+(** Inverse of {!cost_json}. *)
 
 val cost_diagnostic : ?vocab:Vocab.t -> Fo.Formula.t -> Diagnostic.t
 (** A [cost-metadata] hint whose message is {!cost_json} serialised. *)

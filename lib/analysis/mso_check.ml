@@ -271,3 +271,102 @@ let check_word ?sigma ?allowed_free ?max_rank f =
 
 let check_tree ?sigma ?allowed_free ?max_rank f =
   check_node ?sigma ?allowed_free ?max_rank (of_tree f)
+
+(* ------------------------------------------------------------------ *)
+(* Cost metadata                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cost = {
+  rank : int;
+  set_rank : int;
+  size : int;
+  states_log2 : Cost_model.Log2.t;
+}
+
+let rec set_rank = function
+  | KConst _ | KAtom _ -> 0
+  | KNot g -> set_rank g
+  | KJunct (_, gs) -> List.fold_left (fun acc g -> max acc (set_rank g)) 0 gs
+  | KQuant (_, kind, _, g) ->
+      (match kind with USet -> 1 | UPos -> 0) + set_rank g
+
+let rec skeleton_size = function
+  | KConst _ | KAtom _ -> 1
+  | KNot g -> 1 + skeleton_size g
+  | KJunct (_, gs) -> List.fold_left (fun acc g -> acc + skeleton_size g) 1 gs
+  | KQuant (_, _, _, g) -> 1 + skeleton_size g
+
+(* log2 of the automaton-state bound of the standard MSO-to-automaton
+   construction (Buchi-Elgot-Trakhtenbrot): conjunction/disjunction
+   take a product, projection (an existential quantifier) keeps the
+   NFA, and every complementation — a negation, or the inner negation
+   of a universal quantifier — determinises via the subset
+   construction, exponentiating the state count.  The resulting tower
+   in the quantifier-alternation depth is the non-elementary bound;
+   like [Cost_model.hintikka_log2] it saturates explicitly. *)
+let states_log2 ~sigma node =
+  let open Cost_model.Log2 in
+  let atom_log2 = Float.log2 (float_of_int (max 2 sigma) +. 2.0) in
+  let exp2 = function
+    | Saturated -> Saturated
+    | Finite l -> if l > 62.0 then Saturated else Finite (Float.exp2 l)
+  in
+  let add a b =
+    match (a, b) with
+    | Saturated, _ | _, Saturated -> Saturated
+    | Finite a, Finite b -> of_float (a +. b)
+  in
+  let rec go = function
+    | KConst _ -> Finite 1.0
+    | KAtom _ -> Finite atom_log2
+    | KNot g -> exp2 (go g)
+    | KJunct (_, gs) -> List.fold_left (fun acc g -> add acc (go g)) (Finite 0.0) gs
+    | KQuant (existential, _, _, g) ->
+        if existential then go g else exp2 (go g)
+  in
+  go node
+
+let cost_node ?(sigma = 2) node =
+  {
+    rank = rank node;
+    set_rank = set_rank node;
+    size = skeleton_size node;
+    states_log2 = states_log2 ~sigma node;
+  }
+
+let cost_word ?sigma f = cost_node ?sigma (of_word f)
+let cost_tree ?sigma f = cost_node ?sigma (of_tree f)
+
+let cost_json c =
+  Obs.Json.Obj
+    [
+      ("quantifier_rank", Obs.Json.Int c.rank);
+      ("set_quantifier_rank", Obs.Json.Int c.set_rank);
+      ("size", Obs.Json.Int c.size);
+      ("states_log2", Cost_model.Log2.to_json c.states_log2);
+    ]
+
+let cost_of_json j =
+  let ( let* ) = Result.bind in
+  let int_field name =
+    match Option.bind (Obs.Json.member name j) Obs.Json.to_int_opt with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "cost_of_json: missing int field %S" name)
+  in
+  let* rank = int_field "quantifier_rank" in
+  let* set_rank = int_field "set_quantifier_rank" in
+  let* size = int_field "size" in
+  let* states_log2 =
+    match Obs.Json.member "states_log2" j with
+    | Some v -> Cost_model.Log2.of_json v
+    | None -> Error "cost_of_json: missing field \"states_log2\""
+  in
+  Ok { rank; set_rank; size; states_log2 }
+
+let cost_diagnostic_word ?sigma f =
+  Diagnostic.make ~rule:"cost-metadata"
+    (Obs.Json.to_string (cost_json (cost_word ?sigma f)))
+
+let cost_diagnostic_tree ?sigma f =
+  Diagnostic.make ~rule:"cost-metadata"
+    (Obs.Json.to_string (cost_json (cost_tree ?sigma f)))

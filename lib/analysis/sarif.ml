@@ -1,0 +1,91 @@
+module Json = Obs.Json
+
+let level_of = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Hint -> "note"
+
+let rule_json (r : Diagnostic.rule_info) =
+  Json.Obj
+    [
+      ("id", Json.String r.id);
+      ("shortDescription", Json.Obj [ ("text", Json.String r.doc) ]);
+      ( "defaultConfiguration",
+        Json.Obj [ ("level", Json.String (level_of r.default_severity)) ] );
+    ]
+
+let result_json artifact (d : Diagnostic.t) =
+  let logical =
+    Json.Obj
+      [
+        ( "fullyQualifiedName",
+          Json.String (Format.asprintf "%a" Diagnostic.pp_path d.path) );
+      ]
+  in
+  let location =
+    Json.Obj
+      [
+        ( "physicalLocation",
+          Json.Obj
+            [
+              ( "artifactLocation",
+                Json.Obj [ ("uri", Json.String artifact) ] );
+            ] );
+        ("logicalLocations", Json.List [ logical ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.String d.rule);
+      ("level", Json.String (level_of d.severity));
+      ("message", Json.Obj [ ("text", Json.String d.message) ]);
+      ("locations", Json.List [ location ]);
+    ]
+
+let log ?(tool = "folint") results =
+  (* only the rules that actually fired, in catalogue order, so the
+     document stays small and its golden form stable *)
+  let fired =
+    List.concat_map (fun (_, ds) -> List.map (fun d -> d.Diagnostic.rule) ds)
+      results
+  in
+  let rules =
+    List.filter (fun (r : Diagnostic.rule_info) -> List.mem r.id fired)
+      Diagnostic.rules
+  in
+  Json.Obj
+    [
+      ("version", Json.String "2.1.0");
+      ( "$schema",
+        Json.String
+          "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+      );
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String tool);
+                            ( "informationUri",
+                              Json.String
+                                "https://arxiv.org/abs/2102.12201" );
+                            ("rules", Json.List (List.map rule_json rules));
+                          ] );
+                    ] );
+                ( "results",
+                  Json.List
+                    (List.concat_map
+                       (fun (artifact, ds) ->
+                         List.map (result_json artifact) ds)
+                       results) );
+              ];
+          ] );
+    ]
+
+let to_string ?tool results = Json.to_string (log ?tool results)

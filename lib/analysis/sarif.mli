@@ -1,0 +1,22 @@
+(** SARIF 2.1.0 encoding of {!Diagnostic} lists, for [folearn_cli lint
+    --format sarif] and [plan --format sarif].
+
+    The emitted document is the minimal static-analysis log most SARIF
+    consumers (GitHub code scanning, VS Code SARIF viewer) accept: one
+    run, one [tool.driver] with the fired subset of the
+    {!Diagnostic.rules} catalogue, and one [result] per diagnostic.
+    Severities map [Error → error], [Warning → warning],
+    [Hint → note].  The formula-AST breadcrumb ({!Diagnostic.pp_path})
+    is carried as a [logicalLocation]; the artifact URI is the caller's
+    name for the linted input (a file path, or ["<arg>"] for inline
+    formulas).
+
+    Output is deterministic for a fixed input (insertion-ordered
+    objects, catalogue-ordered rules), so goldens can pin it. *)
+
+val log : ?tool:string -> (string * Diagnostic.t list) list -> Obs.Json.t
+(** [log results] builds the SARIF document for [(artifact, diagnostics)]
+    pairs.  [tool] defaults to ["folint"]. *)
+
+val to_string : ?tool:string -> (string * Diagnostic.t list) list -> string
+(** Compact single-line {!Obs.Json.to_string} of {!log}. *)

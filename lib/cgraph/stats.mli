@@ -1,0 +1,42 @@
+(** Cheap structure statistics for static cost planning.
+
+    The static analyzer ([Analysis.Cost_model] / [Analysis.Plan])
+    instantiates the paper's parameterized cost bounds against a handful
+    of measured quantities of the input structure: order, size, the
+    degree histogram, colour-class cardinalities, and (optionally) exact
+    reachable-set and ball sizes around the example roots.
+
+    Everything in this module is deliberately {e tick-free}: unlike
+    {!Bfs}, the traversals here never call [Guard.tick]/[note_ball], so
+    probing a structure for planning purposes cannot consume fuel from
+    an installed budget or trip a cap.  All probes run in
+    [O(n + m)] per BFS source set. *)
+
+type t = {
+  order : int;  (** [n = |V(G)|] *)
+  size : int;  (** [m = |E(G)|] *)
+  max_degree : int;  (** [Δ(G)]; bounded-degree ball envelopes use this *)
+  degree_histogram : (int * int) list;
+      (** [(d, count)] pairs, increasing in [d], counts summing to [n] *)
+  color_counts : (string * int) list;
+      (** cardinality of every colour class, sorted by colour name *)
+  component_count : int;  (** number of connected components *)
+  largest_component : int;  (** order of the largest component ([0] iff [n = 0]) *)
+  smallest_component : int;  (** order of the smallest component ([0] iff [n = 0]) *)
+}
+
+val probe : Graph.t -> t
+(** Measure the whole structure in [O(n + m)]. *)
+
+val reachable_count : Graph.t -> Graph.vertex list -> int
+(** [reachable_count g srcs] is the number of vertices reachable from
+    [srcs] — exactly the number of dequeues (hence [Bfs_frontier]
+    ticks) a {!Bfs.distances_multi} from the same sources performs,
+    which is what makes BFS fuel statically predictable. *)
+
+val ball_size : Graph.t -> r:int -> Graph.vertex list -> int
+(** [ball_size g ~r srcs = |N_r(srcs)|], the exact size of the
+    [r]-neighbourhood — tick-free, unlike [Bfs.ball] which also reports
+    the size to [Guard.note_ball]. *)
+
+val to_json : t -> Obs.Json.t

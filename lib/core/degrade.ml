@@ -35,7 +35,7 @@ let better old cand =
   | Some (_, err_o, _, _), Some (_, err_c, _, _) ->
       if err_c < err_o then cand else old
 
-let learn ?budget ?radius g ~k ~ell ~q lam =
+let learn_chain ?budget ?radius g ~k ~ell ~q lam =
   match budget with
   | None ->
       let r = Erm_local.solve ?radius g ~k ~ell ~q lam in
@@ -69,9 +69,12 @@ let learn ?budget ?radius g ~k ~ell ~q lam =
           }
       in
       Obs.Metric.incr degradations;
+      (* admission over the whole chain is decided once in [learn];
+         the per-stage calls must burn real fuel so salvage and spend
+         aggregation keep their pre-admission semantics *)
       let first =
-        Erm_local.solve_budgeted ~budget:(Guard.Budget.for_stage b) ?radius g
-          ~k ~ell ~q lam
+        Erm_local.solve_budgeted ~budget:(Guard.Budget.for_stage b)
+          ~precheck:false ?radius g ~k ~ell ~q lam
       in
       note_attempt "local" q first;
       (match first with
@@ -121,8 +124,8 @@ let learn ?budget ?radius g ~k ~ell ~q lam =
             else begin
               Obs.Metric.incr degradations;
               let o =
-                Erm_brute.solve_budgeted ~budget:(Guard.Budget.for_stage b) g
-                  ~k ~ell ~q:q' lam
+                Erm_brute.solve_budgeted ~budget:(Guard.Budget.for_stage b)
+                  ~precheck:false g ~k ~ell ~q:q' lam
               in
               note_attempt "brute" q' o;
               match o with
@@ -144,3 +147,11 @@ let learn ?budget ?radius g ~k ~ell ~q lam =
             end
           in
           fallback (q - 1))
+
+let learn ?budget ?(precheck = true) ?radius g ~k ~ell ~q lam =
+  match
+    Admission.degrade ?budget ?radius ~enabled:precheck ~what:"Degrade.learn" g
+      ~k ~ell ~q lam
+  with
+  | Some rejected -> rejected
+  | None -> learn_chain ?budget ?radius g ~k ~ell ~q lam

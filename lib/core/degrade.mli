@@ -38,6 +38,7 @@ type learned = {
 
 val learn :
   ?budget:Guard.Budget.t ->
+  ?precheck:bool ->
   ?radius:int ->
   Cgraph.Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> learned Guard.outcome
 (** [learn ?budget g ~k ~ell ~q lam] runs {!Erm_local.solve} at rank
@@ -46,4 +47,10 @@ val learn :
     ([degraded] tells which kind); [Exhausted] means every stage
     tripped, with [best_so_far] the lowest-error hypothesis salvaged
     from any stage.  Without [budget] this is exactly
-    {!Erm_local.solve}. *)
+    {!Erm_local.solve}.
+
+    [precheck] (default [true]) runs the static admission precheck of
+    {!Analysis.Plan} over the whole degradation chain: the call is
+    rejected up front only when {e every} stage is provably unable to
+    settle its first candidate within the per-stage budget — see
+    {!Erm_brute.solve_budgeted}. *)

@@ -181,21 +181,29 @@ let solve ?pool g ~k ~ell ~q lam =
   @@ fun () ->
   solve_body ?pool g ~k ~ell ~q lam (fresh_progress ())
 
-let solve_budgeted ?budget ?pool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q lam =
+let solve_budgeted ?budget ?(precheck = true) ?pool ?(ckpt = Resil.Ctl.none) g
+    ~k ~ell ~q lam =
   Obs.Span.with_ "erm_brute.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q) ]
   @@ fun () ->
-  let st = fresh_progress () in
-  Resil.Ctl.with_attached ckpt @@ fun () ->
-  Guard.run ?budget
-    ~salvage:(fun () ->
-      (* Only salvage if at least one candidate finished evaluating;
-         the constant fallback would not be "best seen so far". *)
-      match !(st.best) with
-      | None -> None
-      | Some _ -> Some (finish g ~k ~q lam st))
-    (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q lam st)
+  match
+    Admission.erm ?budget
+      ~enabled:(precheck && not (Resil.Ctl.active ckpt))
+      ~what:"Erm_brute" ~solver:Analysis.Plan.Brute g ~k ~ell ~q lam
+  with
+  | Some rejected -> rejected
+  | None ->
+      let st = fresh_progress () in
+      Resil.Ctl.with_attached ckpt @@ fun () ->
+      Guard.run ?budget
+        ~salvage:(fun () ->
+          (* Only salvage if at least one candidate finished evaluating;
+             the constant fallback would not be "best seen so far". *)
+          match !(st.best) with
+          | None -> None
+          | Some _ -> Some (finish g ~k ~q lam st))
+        (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q lam st)
 
 let optimal_error g ~k ~ell ~q lam = (solve g ~k ~ell ~q lam).err

@@ -32,6 +32,7 @@ val solve :
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?precheck:bool ->
   ?pool:Par.Pool.t ->
   ?ckpt:Resil.Ctl.t ->
   Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> result Guard.outcome
@@ -46,7 +47,15 @@ val solve_budgeted :
     candidate ranges are reported for cadence snapshots, and on resume
     candidates below the snapshot cursor are replay-skipped — ticked
     and counted, but not re-evaluated, except the recorded best index.
-    The result is bit-identical to an uninterrupted run. *)
+    The result is bit-identical to an uninterrupted run.
+
+    [precheck] (default [true]) runs the static admission precheck of
+    {!Analysis.Plan} first: if the declared budget is provably below
+    the sound lower bound for settling even one candidate, the call
+    returns [Exhausted] immediately — same constructor an actual run
+    would produce, but with zero fuel burnt.  Checkpoint-resumed runs
+    skip the precheck so resume replays bit-identically.  Pass [false]
+    (the CLI's [--no-precheck]) to always burn real fuel. *)
 
 val optimal_error : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> float
 (** Just [ε* = min_{h ∈ H_{k,ℓ,q}} err_Λ(h)]. *)

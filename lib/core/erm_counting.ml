@@ -134,20 +134,27 @@ let solve ?pool g ~k ~ell ~q ~tmax lam =
   @@ fun () ->
   solve_body ?pool g ~k ~ell ~q ~tmax lam (fresh_progress ())
 
-let solve_budgeted ?budget ?pool ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q ~tmax
-    lam =
+let solve_budgeted ?budget ?(precheck = true) ?pool ?(ckpt = Resil.Ctl.none) g
+    ~k ~ell ~q ~tmax lam =
   Obs.Span.with_ "erm_counting.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q); ("tmax", string_of_int tmax) ]
   @@ fun () ->
-  let st = fresh_progress () in
-  Resil.Ctl.with_attached ckpt @@ fun () ->
-  Guard.run ?budget
-    ~salvage:(fun () ->
-      match !(st.best) with
-      | None -> None
-      | Some _ -> Some (finish g ~k ~q ~tmax lam st))
-    (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q ~tmax lam st)
+  match
+    Admission.erm ?budget ~tmax
+      ~enabled:(precheck && not (Resil.Ctl.active ckpt))
+      ~what:"Erm_counting" ~solver:Analysis.Plan.Counting g ~k ~ell ~q lam
+  with
+  | Some rejected -> rejected
+  | None ->
+      let st = fresh_progress () in
+      Resil.Ctl.with_attached ckpt @@ fun () ->
+      Guard.run ?budget
+        ~salvage:(fun () ->
+          match !(st.best) with
+          | None -> None
+          | Some _ -> Some (finish g ~k ~q ~tmax lam st))
+        (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q ~tmax lam st)
 
 let optimal_error g ~k ~ell ~q ~tmax lam = (solve g ~k ~ell ~q ~tmax lam).err

@@ -31,12 +31,14 @@ val solve :
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?precheck:bool ->
   ?pool:Par.Pool.t ->
   ?ckpt:Resil.Ctl.t ->
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t ->
   result Guard.outcome
 (** {!solve} under a resource budget; see {!Erm_brute.solve_budgeted}
-    for the [best_so_far] and [ckpt] (checkpoint/resume) contracts. *)
+    for the [best_so_far], [ckpt] (checkpoint/resume) and [precheck]
+    (static admission) contracts. *)
 
 val optimal_error :
   Graph.t -> k:int -> ell:int -> q:int -> tmax:int -> Sample.t -> float

@@ -203,19 +203,26 @@ let solve ?pool ?radius g ~k ~ell ~q lam =
   solve_body ?pool g ~k ~ell ~q ~r:(radius_for ?radius q) lam
     (fresh_progress ())
 
-let solve_budgeted ?budget ?pool ?radius ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q
-    lam =
+let solve_budgeted ?budget ?(precheck = true) ?pool ?radius
+    ?(ckpt = Resil.Ctl.none) g ~k ~ell ~q lam =
   Obs.Span.with_ "erm_local.solve_budgeted"
     ~args:
       [ ("k", string_of_int k); ("ell", string_of_int ell);
         ("q", string_of_int q) ]
   @@ fun () ->
-  let r = radius_for ?radius q in
-  let st = fresh_progress () in
-  Resil.Ctl.with_attached ckpt @@ fun () ->
-  Guard.run ?budget
-    ~salvage:(fun () ->
-      match st.best with
-      | None -> None
-      | Some _ -> Some (finish g ~k ~q ~r lam st))
-    (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q ~r lam st)
+  match
+    Admission.erm ?budget ?radius
+      ~enabled:(precheck && not (Resil.Ctl.active ckpt))
+      ~what:"Erm_local" ~solver:Analysis.Plan.Local g ~k ~ell ~q lam
+  with
+  | Some rejected -> rejected
+  | None ->
+      let r = radius_for ?radius q in
+      let st = fresh_progress () in
+      Resil.Ctl.with_attached ckpt @@ fun () ->
+      Guard.run ?budget
+        ~salvage:(fun () ->
+          match st.best with
+          | None -> None
+          | Some _ -> Some (finish g ~k ~q ~r lam st))
+        (fun () -> solve_body ?pool ~ckpt g ~k ~ell ~q ~r lam st)

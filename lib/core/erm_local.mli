@@ -43,6 +43,7 @@ val solve :
 
 val solve_budgeted :
   ?budget:Guard.Budget.t ->
+  ?precheck:bool ->
   ?pool:Par.Pool.t ->
   ?radius:int ->
   ?ckpt:Resil.Ctl.t ->
@@ -53,5 +54,7 @@ val solve_budgeted :
     [None] if the run tripped before any did (e.g. while building the
     candidate pool).  [ckpt] threads a checkpoint controller over the
     global candidate index (counting through the tuple lengths
-    [j = 0..ell] in enumeration order); see
-    {!Erm_brute.solve_budgeted}. *)
+    [j = 0..ell] in enumeration order); [precheck] (default [true])
+    gates the call through the static admission precheck of
+    {!Analysis.Plan} — see {!Erm_brute.solve_budgeted} for both
+    contracts. *)

@@ -619,11 +619,20 @@ let solve cfg g lam =
   let run, _ = solve_inner cfg g lam in
   run ()
 
-let solve_budgeted ?budget ?(ckpt = Resil.Ctl.none) cfg g lam =
+let solve_budgeted ?budget ?(precheck = true) ?(ckpt = Resil.Ctl.none) cfg g
+    lam =
   Obs.Span.with_ "erm_nd.solve_budgeted"
     ~args:
       [ ("k", string_of_int cfg.k); ("ell", string_of_int cfg.ell_star);
         ("q", string_of_int cfg.q_star) ]
   @@ fun () ->
-  let run, salvage = solve_inner ~ckpt cfg g lam in
-  Resil.Ctl.with_attached ckpt @@ fun () -> Guard.run ?budget ~salvage run
+  match
+    Admission.erm ?budget ?radius:cfg.radius
+      ~enabled:(precheck && not (Resil.Ctl.active ckpt))
+      ~what:"Erm_nd" ~solver:Analysis.Plan.Nd g ~k:cfg.k ~ell:cfg.ell_star
+      ~q:cfg.q_star lam
+  with
+  | Some rejected -> rejected
+  | None ->
+      let run, salvage = solve_inner ~ckpt cfg g lam in
+      Resil.Ctl.with_attached ckpt @@ fun () -> Guard.run ?budget ~salvage run

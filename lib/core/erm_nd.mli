@@ -83,8 +83,8 @@ val solve : config -> Graph.t -> Sample.t -> report
     @raise Invalid_argument on arity mismatch or [epsilon <= 0]. *)
 
 val solve_budgeted :
-  ?budget:Guard.Budget.t -> ?ckpt:Resil.Ctl.t -> config -> Graph.t ->
-  Sample.t -> report Guard.outcome
+  ?budget:Guard.Budget.t -> ?precheck:bool -> ?ckpt:Resil.Ctl.t -> config ->
+  Graph.t -> Sample.t -> report Guard.outcome
 (** {!solve} under a resource budget.  On exhaustion, [best_so_far]
     reports the best leaf of the branch tree reached before the trip,
     or [None] if the search tripped before reaching any leaf.
@@ -92,8 +92,9 @@ val solve_budgeted :
     [ckpt] threads a checkpoint controller over the leaf index in
     traversal order: the deterministic tree walk is replayed on
     resume, but the per-leaf majority vote is skipped below the
-    snapshot cursor (except the recorded best leaf); see
-    {!Erm_brute.solve_budgeted}. *)
+    snapshot cursor (except the recorded best leaf); [precheck]
+    (default [true]) gates the call through the static admission
+    precheck of {!Analysis.Plan}; see {!Erm_brute.solve_budgeted}. *)
 
 val centre_set :
   Graph.t -> r:int -> cap:int -> critical:Graph.Tuple.t list -> Graph.vertex list

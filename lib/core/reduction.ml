@@ -261,11 +261,18 @@ let model_check ?(general_l = false) ?(oracle_ell = 1) ?locality_radius ~oracle
       colors_observed = !max_colors;
     } )
 
-let model_check_budgeted ?budget ?general_l ?oracle_ell ?locality_radius
-    ~oracle g phi =
-  (* A half-finished decision procedure has no meaningful partial
-     verdict, so exhaustion salvages nothing; the caller still gets the
-     reason and the resources spent. *)
-  Guard.run ?budget
-    ~salvage:(fun () -> None)
-    (fun () -> model_check ?general_l ?oracle_ell ?locality_radius ~oracle g phi)
+let model_check_budgeted ?budget ?(precheck = true) ?general_l ?oracle_ell
+    ?locality_radius ~oracle g phi =
+  match
+    Admission.model_check ?budget ~enabled:precheck
+      ~what:"Reduction.model_check" g phi
+  with
+  | Some rejected -> rejected
+  | None ->
+      (* A half-finished decision procedure has no meaningful partial
+         verdict, so exhaustion salvages nothing; the caller still gets
+         the reason and the resources spent. *)
+      Guard.run ?budget
+        ~salvage:(fun () -> None)
+        (fun () ->
+          model_check ?general_l ?oracle_ell ?locality_radius ~oracle g phi)

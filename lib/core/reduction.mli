@@ -85,6 +85,7 @@ val model_check :
 
 val model_check_budgeted :
   ?budget:Guard.Budget.t ->
+  ?precheck:bool ->
   ?general_l:bool ->
   ?oracle_ell:int ->
   ?locality_radius:int ->
@@ -95,4 +96,10 @@ val model_check_budgeted :
 (** {!model_check} under a resource budget.  A decision procedure has
     no partial verdict, so [best_so_far] is always [None] on
     exhaustion; the outcome still carries the trip reason and the
-    resources spent. *)
+    resources spent.
+
+    [precheck] (default [true]) first compares the fuel limit against
+    {!Analysis.Plan.model_check_floor} — the structural minimum number
+    of solver-loop ticks any completed run must spend, independent of
+    the oracle.  A provably insufficient budget returns [Exhausted]
+    immediately with zero fuel burnt; pass [false] to bypass. *)

@@ -91,6 +91,7 @@ end
    observes it at its next tick and unwinds cooperatively. *)
 type state = {
   fuel_limit : int option;
+  timeout_s : float option;  (* as given to [make]; [deadline_ns] is derived *)
   deadline_ns : int64 option;  (* absolute, on the obs monotonic clock *)
   max_table : int option;
   max_ball : int option;
@@ -119,6 +120,7 @@ module Budget = struct
     in
     {
       fuel_limit = fuel;
+      timeout_s;
       deadline_ns;
       max_table;
       max_ball;
@@ -135,6 +137,27 @@ module Budget = struct
     }
 
   let unlimited () = make ()
+
+  type limits = {
+    l_fuel : int option;
+    l_timeout_s : float option;
+    l_max_table : int option;
+    l_max_ball : int option;
+    l_max_catalogue : int option;
+  }
+
+  let limits t =
+    {
+      l_fuel = t.fuel_limit;
+      l_timeout_s = t.timeout_s;
+      l_max_table = t.max_table;
+      l_max_ball = t.max_ball;
+      l_max_catalogue = t.max_catalogue;
+    }
+
+  let of_limits ?(faults = Faults.none) l =
+    make ?fuel:l.l_fuel ?timeout_s:l.l_timeout_s ?max_table:l.l_max_table
+      ?max_ball:l.l_max_ball ?max_catalogue:l.l_max_catalogue ~faults ()
 
   let spent t =
     {

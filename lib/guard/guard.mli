@@ -113,6 +113,26 @@ module Budget : sig
   val unlimited : unit -> t
   (** No limits — useful to account {!type-spent} without bounding. *)
 
+  (** The declarative part of a budget: its limits, without the live
+      counters.  This is what a static planner ([Analysis.Plan]) reasons
+      about — it cannot depend on a running budget, only on the caps the
+      user asked for. *)
+  type limits = {
+    l_fuel : int option;
+    l_timeout_s : float option;
+    l_max_table : int option;
+    l_max_ball : int option;
+    l_max_catalogue : int option;
+  }
+
+  val limits : t -> limits
+  (** The limits this budget was created with ([l_timeout_s] is the
+      original relative timeout, not the remaining time). *)
+
+  val of_limits : ?faults:Faults.t -> limits -> t
+  (** A fresh budget with the given limits; the deadline restarts from
+      now.  [limits (of_limits l) = l]. *)
+
   val spent : t -> spent
 
   val tripped : t -> (reason * checkpoint) option

@@ -1,20 +1,31 @@
 #!/bin/sh
-# Corpus check for `folearn_cli lint`.
+# Corpus check for `folearn_cli lint` and the `plan --strict` gate.
 #
-#   lint_corpus.sh BINARY GOOD_DIR BAD_DIR
+#   lint_corpus.sh BINARY GOOD_DIR BAD_DIR [SARIF_GOLDEN]
 #
 # Every *.fo file carries its own lint invocation in a `# lint:` header.
 # Files in GOOD_DIR (formula corpora extracted from examples/*.ml) must
 # lint clean (exit 0); files in BAD_DIR are seeded defects and must make
 # lint exit non-zero AND name the rule id from their `# expect:` header.
+#
+# Good files may additionally carry a `# plan:` header with `folearn
+# plan` arguments (graph, class budgets, resource limits): the first
+# formula of the file is planned as the --target and the documented
+# budget must be admitted by the static precheck (`plan --strict`
+# exits 0).
+#
+# When SARIF_GOLDEN is given, `lint --format sarif` on the seeded
+# unbound-variable defect must reproduce it byte for byte (the SARIF
+# encoder is deterministic by contract).
 
 bin=$1
 good_dir=$2
 bad_dir=$3
+sarif_golden=$4
 fail=0
 
 if [ -z "$bin" ] || [ -z "$good_dir" ] || [ -z "$bad_dir" ]; then
-    echo "usage: lint_corpus.sh BINARY GOOD_DIR BAD_DIR" >&2
+    echo "usage: lint_corpus.sh BINARY GOOD_DIR BAD_DIR [SARIF_GOLDEN]" >&2
     exit 2
 fi
 
@@ -49,5 +60,34 @@ for f in "$bad_dir"/*.fo; do
         fail=1
     fi
 done
+
+# pre-submit admission gate: every corpus query that documents a
+# learning configuration must be statically feasible under it
+for f in "$good_dir"/*.fo; do
+    planflags=$(sed -n 's/^# plan: *//p' "$f")
+    [ -z "$planflags" ] && continue
+    target=$(grep -v '^[[:space:]]*#' "$f" | grep -v '^[[:space:]]*$' | head -1)
+    if out=$("$bin" plan --strict $planflags -t "$target" 2>&1 >/dev/null); then
+        echo "ok (plan admits): $f"
+    else
+        echo "FAIL (plan --strict rejected the documented budget): $f" >&2
+        echo "$out" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+
+# SARIF golden: deterministic encoder, pinned byte-for-byte
+if [ -n "$sarif_golden" ]; then
+    f="$bad_dir/unbound_variable.fo"
+    flags=$(sed -n 's/^# lint: *//p' "$f")
+    "$bin" lint --format sarif $flags "$f" > lint_sarif_out.json
+    if cmp -s lint_sarif_out.json "$sarif_golden"; then
+        echo "ok (sarif golden): $f"
+    else
+        echo "FAIL (sarif output differs from golden $sarif_golden):" >&2
+        diff "$sarif_golden" lint_sarif_out.json | sed 's/^/    /' >&2
+        fail=1
+    fi
+fi
 
 exit $fail

@@ -17,6 +17,7 @@ let () =
       ("toolkit", Test_toolkit.suite);
       ("relational", Test_relational.suite);
       ("analysis", Test_analysis.suite);
+      ("plan", Test_plan.suite);
       ("mso", Test_mso.suite);
       ("trees", Test_trees.suite);
       ("obs", Test_obs.suite);

@@ -214,9 +214,11 @@ let test_degrade_falls_back () =
 let test_degrade_total_exhaustion () =
   let g = Gen.random_tree ~seed:11 18 in
   let lam = sample_on g ~k:1 9 in
+  (* precheck off: this test is about the runtime burn and its spend
+     aggregation, which admission would (correctly) short-circuit *)
   match
-    Folearn.Degrade.learn ~budget:(Guard.Budget.make ~fuel:1 ()) g ~k:1 ~ell:1
-      ~q:2 lam
+    Folearn.Degrade.learn ~budget:(Guard.Budget.make ~fuel:1 ()) ~precheck:false
+      g ~k:1 ~ell:1 ~q:2 lam
   with
   | Guard.Complete _ -> Alcotest.fail "1 fuel per stage cannot finish"
   | Guard.Exhausted { reason = r; spent; _ } ->
