@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<exp>.json telemetry files and flag regressions.
+
+Usage: compare.py BASELINE CURRENT [--tol FRAC] [--time-tol FRAC]
+
+Compares the deterministic substance of a benchmark run — the headline
+work counters (model_check_calls, hypotheses_enumerated,
+checkpoint_writes, events_recorded), the metric-snapshot counters, and
+the row count — and exits non-zero on any mismatch beyond tolerance.
+
+Design choices, so the gate stays useful in CI:
+- integer work counters compare EXACTLY by default (the solvers are
+  deterministic at jobs 1; a drifting counter is a behaviour change,
+  not noise).  --tol 0.05 relaxes every counter to +/-5%.
+- wall_time_s and other timings are IGNORED unless --time-tol is
+  given: shared CI runners make time gates flaky, counter gates are
+  the reliable regression signal.
+- a counter present in the baseline must exist in the current run
+  (deleting instrumentation silently is a regression); counters that
+  are new in the current run are allowed (instrumentation grows).
+"""
+import argparse
+import json
+import sys
+
+HEADLINE_COUNTERS = (
+    "model_check_calls",
+    "hypotheses_enumerated",
+    "checkpoint_writes",
+    "events_recorded",
+)
+
+
+def load(path):
+    try:
+        with open(path, "rb") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"compare: {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def within(base, cur, tol):
+    if tol is None or tol == 0.0:
+        return base == cur
+    if base == 0:
+        return cur == 0
+    return abs(cur - base) <= abs(base) * tol
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tol", type=float, default=0.0,
+        help="relative tolerance for every counter (default 0: exact)")
+    ap.add_argument(
+        "--time-tol", type=float, default=None,
+        help="also gate wall_time_s within this relative tolerance "
+             "(default: timings are not compared)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    problems = []
+
+    def check(what, b, c, tol):
+        if not within(b, c, tol):
+            problems.append(f"{what}: baseline {b}, current {c}")
+
+    if base.get("experiment") != cur.get("experiment"):
+        problems.append(
+            f"experiment: baseline {base.get('experiment')!r}, "
+            f"current {cur.get('experiment')!r}")
+    if base.get("jobs") != cur.get("jobs"):
+        problems.append(
+            f"jobs: baseline {base.get('jobs')}, current {cur.get('jobs')} "
+            "(counter determinism only holds at matching job counts)")
+
+    for key in HEADLINE_COUNTERS:
+        if key in base:
+            if key not in cur:
+                problems.append(f"headline {key}: missing from current run")
+            else:
+                check(f"headline {key}", base[key], cur[key], args.tol)
+
+    base_counters = base.get("metrics", {}).get("counters", {})
+    cur_counters = cur.get("metrics", {}).get("counters", {})
+    for name in sorted(base_counters):
+        if name not in cur_counters:
+            problems.append(f"counter {name}: missing from current run")
+        else:
+            check(f"counter {name}", base_counters[name], cur_counters[name],
+                  args.tol)
+
+    # rows carry per-config results; their COUNT is deterministic even
+    # when their timing fields are not
+    check("row count", len(base.get("rows", [])), len(cur.get("rows", [])),
+          None)
+
+    if args.time_tol is not None:
+        check("wall_time_s", base.get("wall_time_s", 0.0),
+              cur.get("wall_time_s", 0.0), args.time_tol)
+
+    exp = cur.get("experiment", "?")
+    if problems:
+        print(f"compare: {exp}: {len(problems)} regression(s) vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        sys.exit(1)
+    new = sorted(set(cur_counters) - set(base_counters))
+    extra = f", {len(new)} new counter(s)" if new else ""
+    print(f"compare: {exp}: ok ({len(base_counters)} counters matched"
+          f"{extra})")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@
      types   print the q-type partition of a graph
      game    play out the splitter game and print the trace
      lint    static analysis of FO/MSO formulas (folint)
+     pulse   decode a flight-recorder dump or query a live exporter
 
    Graph specifications (the --graph argument):
      path:N          cycle:N        clique:N      star:N
@@ -134,8 +135,73 @@ let stats_json_arg =
           "Write the metrics snapshot as JSON (pretty-print it back with \
            $(b,folearn stats)).")
 
-let with_obs ~trace ~stats ~stats_json f =
-  if trace = None && (not stats) && stats_json = None then f ()
+(* live telemetry: --metrics-addr serves /metrics, /metrics.json,
+   /healthz and /progress from a domain of its own for the whole run;
+   --fdr keeps the bounded event ring flowing to a crash-readable
+   flight-recorder file.  Both ride the compute-heavy subcommands. *)
+
+let metrics_addr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-addr" ] ~docv:"ADDR"
+        ~doc:
+          "Serve live telemetry while the run executes: $(b,unix:PATH), \
+           $(b,HOST:PORT) or $(b,:PORT) (port 0 picks a free port, \
+           printed on stderr).  Endpoints: /metrics (Prometheus text), \
+           /metrics.json, /healthz, /progress.  Implies metric \
+           recording, like --stats.")
+
+let fdr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fdr" ] ~docv:"FILE"
+        ~doc:
+          "Flight recorder: keep rewriting $(docv) with the most recent \
+           telemetry events (atomic writes), so even a SIGKILL'd run \
+           leaves a readable dump.  Decode it with $(b,folearn pulse).")
+
+type pulse_opts = { metrics_addr : string option; fdr : string option }
+
+let pulse_term =
+  let mk metrics_addr fdr = { metrics_addr; fdr } in
+  Term.(const mk $ metrics_addr_arg $ fdr_arg)
+
+(* attach the flight recorder and bracket [f] with the exporter server;
+   the recorder stays attached afterwards so the at_exit dump still
+   lands *)
+let with_pulse ~cmd { metrics_addr; fdr } f =
+  (match fdr with
+  | None -> ()
+  | Some path -> Pulse.Fdr.attach ~path ());
+  match metrics_addr with
+  | None -> f ()
+  | Some spec -> (
+      match Pulse.Addr.parse spec with
+      | Error m ->
+          Format.eprintf "folearn %s: --metrics-addr %s@." cmd m;
+          exit 2
+      | Ok addr -> (
+          match Pulse.Server.start addr with
+          | Error m ->
+              Format.eprintf "folearn %s: --metrics-addr %s: %s@." cmd
+                (Pulse.Addr.to_string addr) m;
+              exit 2
+          | Ok srv ->
+              Format.eprintf "folearn %s: serving telemetry on %s@." cmd
+                (Pulse.Addr.to_string (Pulse.Server.bound_addr srv));
+              Fun.protect
+                ~finally:(fun () ->
+                  Pulse.Server.set_progress None;
+                  Pulse.Server.stop srv)
+                f))
+
+let with_obs ~pulse ~trace ~stats ~stats_json f =
+  if
+    trace = None && (not stats) && stats_json = None
+    && pulse.metrics_addr = None
+  then f ()
   else begin
     Obs.enable ();
     Obs.reset_all ();
@@ -239,6 +305,16 @@ let budget_of ~fuel ~timeout ~max_table ~max_ball =
     Some
       (Guard.Budget.make ?fuel ?timeout_s:timeout ?max_table ?max_ball ())
 
+(* the /progress fuel gauge needs a live budget to read spend from, so
+   --metrics-addr with no budget flag installs an unlimited one — the
+   same precedent --checkpoint set for its snapshot cadence *)
+let budget_for_pulse pulse budget =
+  match budget with
+  | Some _ as b -> b
+  | None ->
+      if pulse.metrics_addr = None then None
+      else Some (Guard.Budget.unlimited ())
+
 let report_exhausted ~cmd ~reason ~checkpoint ~(spent : Guard.spent) =
   let what =
     match reason with
@@ -250,7 +326,14 @@ let report_exhausted ~cmd ~reason ~checkpoint ~(spent : Guard.spent) =
     (Guard.checkpoint_to_string checkpoint)
     spent.Guard.fuel
     (Int64.to_float spent.Guard.elapsed_ns /. 1e9)
-    spent.Guard.table_rows spent.Guard.ball_peak
+    spent.Guard.table_rows spent.Guard.ball_peak;
+  (* preserve the final event window when a run dies of exhaustion or a
+     signal (no-op unless --fdr attached the recorder) *)
+  Pulse.Fdr.dump_now
+    ~reason:
+      (match reason with
+      | Guard.Interrupted -> "interrupted"
+      | r -> "guard.exhausted:" ^ Guard.reason_to_string r)
 
 (* crash safety: --checkpoint / --resume on the long-running
    subcommands.  Snapshot cadence rides the Guard tick hook, so an
@@ -376,6 +459,37 @@ let setup_resilience ~cmd ~solver ~run_id ~budget
   in
   (budget, ckpt)
 
+(* Install the /progress sampler: a closure over the run's identity,
+   the Resil frontier/best, the Guard budget and (for learn) the static
+   plan envelope.  The closure runs on the exporter domain, so it only
+   touches mutex- or atomic-guarded state. *)
+let install_progress ~metrics ~run_id ~solver ~sample_size ?fuel_lo ?fuel_hi
+    ?total budget ckpt =
+  if metrics then
+    Pulse.Server.set_progress
+      (Some
+         (fun () ->
+           let fuel_spent, elapsed_ns =
+             match budget with
+             | None -> (None, None)
+             | Some b ->
+                 let s = Guard.Budget.spent b in
+                 (Some s.Guard.fuel, Some s.Guard.elapsed_ns)
+           in
+           Pulse.Progress.to_json
+             {
+               Pulse.Progress.run_id;
+               solver;
+               frontier = Resil.Ctl.frontier ckpt;
+               total;
+               best = Resil.Ctl.best ckpt;
+               sample_size;
+               fuel_spent;
+               elapsed_ns;
+               fuel_lo;
+               fuel_hi;
+             }))
+
 (* an interrupted run exits 3 even with nothing salvaged: the operator
    asked for the stop, and the snapshot (if any) holds the progress *)
 let exhausted_exit reason ~salvaged =
@@ -438,12 +552,15 @@ let learn_cmd =
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
   let run g colors target k ell q solver tmax noise m seed fuel timeout
-      max_table max_ball no_precheck jobs ckpt_opts trace stats stats_json =
+      max_table max_ball no_precheck jobs ckpt_opts pulse trace stats
+      stats_json =
     apply_jobs jobs;
     let precheck = not no_precheck in
-    with_obs ~trace ~stats ~stats_json @@ fun () ->
+    with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
+    with_pulse ~cmd:"learn" pulse @@ fun () ->
     let target = parse_formula_or_exit ~cmd:"learn" ~flag:"--target" target in
-    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    let user_budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    let budget = budget_for_pulse pulse user_budget in
     let g = with_cli_colors g colors in
     let solver_name =
       match solver with
@@ -465,6 +582,14 @@ let learn_cmd =
     let budget, ckpt =
       setup_resilience ~cmd:"learn" ~solver:solver_name ~run_id ~budget
         ckpt_opts
+    in
+    (* no checkpointing asked for, but a live /progress endpoint wants
+       the settled frontier: track it passively (admission prechecks
+       still see an un-checkpointed run) *)
+    let ckpt =
+      if pulse.metrics_addr <> None && not (Resil.Ctl.active ckpt) then
+        Resil.Ctl.observer ~run_id ~solver:solver_name ()
+      else ckpt
     in
     let module Sam = Folearn.Sample in
     let xvars = Folearn.Hypothesis.xvars k in
@@ -492,6 +617,28 @@ let learn_cmd =
     Format.printf "training sequence: %d examples (%d positive)@."
       (Sam.size lam)
       (List.length (Sam.positives lam));
+    (* /progress marries the live frontier with the static plan
+       envelope, so scrapers get fuel_spent / fuel_hi percent-complete
+       without running `folearn plan` themselves *)
+    (if pulse.metrics_addr <> None then
+       let module Plan = Analysis.Plan in
+       let module Cm = Analysis.Cost_model in
+       let psolver =
+         match solver with
+         | `Brute -> Plan.Brute
+         | `Nd -> Plan.Nd
+         | `Counting -> Plan.Counting
+         | `Local -> Plan.Local
+       in
+       let plan = Plan.analyze (Plan.input ~tmax g ~k ~ell ~q tuples) psolver in
+       let env_lo (e : Cm.Env.t) = Cm.Count.to_int_opt e.Cm.Env.lo in
+       let env_hi (e : Cm.Env.t) = Cm.Count.to_int_opt e.Cm.Env.hi in
+       install_progress ~metrics:true ~run_id ~solver:solver_name
+         ~sample_size:(Sam.size lam)
+         ?fuel_lo:(env_lo plan.Plan.fuel_total)
+         ?fuel_hi:(env_hi plan.Plan.fuel_total)
+         ?total:(env_hi plan.Plan.hypotheses)
+         budget ckpt);
     (* one outcome handler for every solver: 0 on a complete run, 3
        when only a best-so-far hypothesis (with its true empirical
        error, but no min-error certificate) survived, 4 when nothing
@@ -569,11 +716,13 @@ let learn_cmd =
             Format.printf "parameters: %a@." Graph.Tuple.pp
               (Folearn.Hypothesis.params r.Folearn.Erm_local.hypothesis);
             0
-        | Some _ when Resil.Ctl.active ckpt ->
+        | Some _ when Resil.Ctl.active ckpt || user_budget = None ->
             (* a checkpointed local run must resume bit-identically,
                so it bypasses the degradation chain (whose stage
                hand-offs have no stable candidate numbering) and runs
-               the local solver directly under the budget *)
+               the local solver directly under the budget; likewise a
+               run whose only budget is the synthetic unlimited one
+               --metrics-addr installs (nothing to degrade under) *)
             conclude
               (Folearn.Erm_local.solve_budgeted ?budget ~precheck ~ckpt g ~k
                  ~ell ~q lam)
@@ -632,7 +781,8 @@ let learn_cmd =
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
       $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ fuel_arg
       $ timeout_arg $ max_table_arg $ max_ball_arg $ no_precheck_arg
-      $ jobs_arg $ ckpt_term $ trace_arg $ stats_arg $ stats_json_arg)
+      $ jobs_arg $ ckpt_term $ pulse_term $ trace_arg $ stats_arg
+      $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn a first-order query from labelled examples.")
@@ -884,11 +1034,14 @@ let mc_cmd =
           ~doc:"Decide through the Theorem 1 reduction (ERM-oracle calls).")
   in
   let run g colors phi via_erm fuel timeout max_table max_ball no_precheck
-      jobs ckpt_opts trace stats stats_json =
+      jobs ckpt_opts pulse trace stats stats_json =
     apply_jobs jobs;
-    with_obs ~trace ~stats ~stats_json @@ fun () ->
+    with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
+    with_pulse ~cmd:"mc" pulse @@ fun () ->
     let phi = parse_formula_or_exit ~cmd:"mc" ~flag:"--formula" phi in
-    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    let budget =
+      budget_for_pulse pulse (budget_of ~fuel ~timeout ~max_table ~max_ball)
+    in
     let g = with_cli_colors g colors in
     (* mc has no candidate enumeration to replay-skip: checkpoints
        record run identity and spend only, and a resumed run re-checks
@@ -904,6 +1057,9 @@ let mc_cmd =
     let budget, ckpt =
       setup_resilience ~cmd:"mc" ~solver:"mc" ~run_id ~budget ckpt_opts
     in
+    install_progress
+      ~metrics:(pulse.metrics_addr <> None)
+      ~run_id ~solver:"mc" ~sample_size:0 budget ckpt;
     let outcome =
       Resil.Ctl.with_attached ckpt @@ fun () ->
       if via_erm then
@@ -945,7 +1101,8 @@ let mc_cmd =
     Term.(
       const run $ graph_arg $ colors_arg $ formula_arg $ via_erm_arg $ fuel_arg
       $ timeout_arg $ max_table_arg $ max_ball_arg $ no_precheck_arg
-      $ jobs_arg $ ckpt_term $ trace_arg $ stats_arg $ stats_json_arg)
+      $ jobs_arg $ ckpt_term $ pulse_term $ trace_arg $ stats_arg
+      $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* types                                                               *)
@@ -960,10 +1117,13 @@ let types_cmd =
       & info [ "hintikka" ] ~doc:"Also print one Hintikka formula per class.")
   in
   let run g colors q k hintikka fuel timeout max_table max_ball jobs ckpt_opts
-      trace stats stats_json =
+      pulse trace stats stats_json =
     apply_jobs jobs;
-    with_obs ~trace ~stats ~stats_json @@ fun () ->
-    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
+    with_pulse ~cmd:"types" pulse @@ fun () ->
+    let budget =
+      budget_for_pulse pulse (budget_of ~fuel ~timeout ~max_table ~max_ball)
+    in
     let g = with_cli_colors g colors in
     let run_id =
       run_id_of
@@ -975,6 +1135,9 @@ let types_cmd =
     let budget, ckpt =
       setup_resilience ~cmd:"types" ~solver:"types" ~run_id ~budget ckpt_opts
     in
+    install_progress
+      ~metrics:(pulse.metrics_addr <> None)
+      ~run_id ~solver:"types" ~sample_size:0 budget ckpt;
     let outcome =
       Resil.Ctl.with_attached ckpt @@ fun () ->
       Guard.run ?budget
@@ -1009,7 +1172,7 @@ let types_cmd =
     Term.(
       const run $ graph_arg $ colors_arg $ q_arg $ k_arg $ hintikka_arg
       $ fuel_arg $ timeout_arg $ max_table_arg $ max_ball_arg $ jobs_arg
-      $ ckpt_term $ trace_arg $ stats_arg $ stats_json_arg)
+      $ ckpt_term $ pulse_term $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game                                                                *)
@@ -1017,16 +1180,22 @@ let types_cmd =
 
 let game_cmd =
   let r_arg = Arg.(value & opt int 2 & info [ "r" ] ~doc:"Game radius.") in
-  let run g colors r fuel timeout max_table max_ball jobs ckpt_opts trace
-      stats stats_json =
+  let run g colors r fuel timeout max_table max_ball jobs ckpt_opts pulse
+      trace stats stats_json =
     apply_jobs jobs;
-    with_obs ~trace ~stats ~stats_json @@ fun () ->
-    let budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
+    with_pulse ~cmd:"game" pulse @@ fun () ->
+    let budget =
+      budget_for_pulse pulse (budget_of ~fuel ~timeout ~max_table ~max_ball)
+    in
     let g = with_cli_colors g colors in
     let run_id = run_id_of [ "game"; Io.to_string g; string_of_int r ] in
     let budget, ckpt =
       setup_resilience ~cmd:"game" ~solver:"game" ~run_id ~budget ckpt_opts
     in
+    install_progress
+      ~metrics:(pulse.metrics_addr <> None)
+      ~run_id ~solver:"game" ~sample_size:0 budget ckpt;
     let outcome =
       Resil.Ctl.with_attached ckpt @@ fun () ->
       Guard.run ?budget
@@ -1059,8 +1228,8 @@ let game_cmd =
     (Cmd.info "game" ~doc:"Play out the (r, s)-splitter game.")
     Term.(
       const run $ graph_arg $ colors_arg $ r_arg $ fuel_arg $ timeout_arg
-      $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term $ trace_arg
-      $ stats_arg $ stats_json_arg)
+      $ max_table_arg $ max_ball_arg $ jobs_arg $ ckpt_term $ pulse_term
+      $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -1644,6 +1813,81 @@ let stats_cmd =
     Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* pulse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pulse_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"A flight-recorder dump (from $(b,--fdr)) to decode.")
+  in
+  let addr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:
+            "A live exporter to query instead: $(b,unix:PATH), \
+             $(b,HOST:PORT) or $(b,:PORT), as given to \
+             $(b,--metrics-addr).")
+  in
+  let endpoint_arg =
+    Arg.(
+      value & opt string "/progress"
+      & info [ "endpoint" ] ~docv:"PATH"
+          ~doc:
+            "Endpoint to fetch with $(b,--addr): /progress (default), \
+             /metrics, /metrics.json or /healthz.")
+  in
+  let run file addr endpoint =
+    match (file, addr) with
+    | Some path, _ -> (
+        match Pulse.Fdr.load path with
+        | Ok d ->
+            Format.printf "%a" Pulse.Fdr.pp d;
+            0
+        | Error m ->
+            Format.eprintf "folearn pulse: %s: %s@." path m;
+            2)
+    | None, Some spec -> (
+        match Pulse.Addr.parse spec with
+        | Error m ->
+            Format.eprintf "folearn pulse: --addr %s@." m;
+            2
+        | Ok a -> (
+            match Pulse.Client.get a endpoint with
+            | Error m ->
+                Format.eprintf "folearn pulse: %s@." m;
+                1
+            | Ok body -> (
+                (* JSON objects print one member per line; everything
+                   else (Prometheus text, healthz) passes through *)
+                match Obs.Json.of_string body with
+                | Ok (Obs.Json.Obj members) ->
+                    List.iter
+                      (fun (key, v) ->
+                        Format.printf "%-16s %s@." key (Obs.Json.to_string v))
+                      members;
+                    0
+                | _ ->
+                    print_string body;
+                    0)))
+    | None, None ->
+        Format.eprintf
+          "folearn pulse: give a flight-recorder FILE or --addr@.";
+        2
+  in
+  Cmd.v
+    (Cmd.info "pulse"
+       ~doc:
+         "Decode a flight-recorder dump, or query a live \
+          $(b,--metrics-addr) exporter.")
+    Term.(const run $ file_arg $ addr_arg $ endpoint_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "learning first-order queries (PODS 2022 reproduction)" in
@@ -1653,5 +1897,5 @@ let () =
        (Cmd.group info
           [
             learn_cmd; plan_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd;
-            strings_cmd; trees_cmd; lint_cmd; stats_cmd;
+            strings_cmd; trees_cmd; lint_cmd; stats_cmd; pulse_cmd;
           ]))

@@ -227,7 +227,15 @@ let exhausted_counter reason =
 let trip st reason cp =
   (* write-once: under parallelism the first tripper wins, every later
      (or concurrent) tripper just joins the unwind *)
-  ignore (Atomic.compare_and_set st.tripped None (Some (reason, cp)));
+  if Atomic.compare_and_set st.tripped None (Some (reason, cp)) then
+    Obs.Event.record ~kind:"guard"
+      ~args:
+        [
+          ("reason", reason_to_string reason);
+          ("checkpoint", checkpoint_to_string cp);
+          ("fuel", string_of_int (Atomic.get st.fuel_used));
+        ]
+      "guard.trip";
   raise Exhausted_internal
 
 (* CAS-max: lock-free peak tracking *)
@@ -340,6 +348,14 @@ let run ?budget ~salvage f =
           restore ();
           Obs.Metric.incr exhausted_total;
           Obs.Metric.incr (exhausted_counter reason);
+          Obs.Event.record ~kind:"guard"
+            ~args:
+              [
+                ("reason", reason_to_string reason);
+                ("checkpoint", checkpoint_to_string checkpoint);
+                ("salvaged", string_of_bool (Option.is_some best));
+              ]
+            "guard.exhausted";
           Exhausted { best_so_far = best; reason; checkpoint; spent = Budget.spent b })
 
 let outcome_map f = function

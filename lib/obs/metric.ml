@@ -1,15 +1,42 @@
-type counter = { c_value : int Atomic.t }
+(* Per-domain sharded recording.  Handles carry a small dense id; each
+   domain lazily owns a shard (registered once in a global list) whose
+   cells are plain arrays indexed by that id.  The hot path — [incr],
+   [add], [observe] — therefore touches only domain-local memory: no
+   atomics, no locks, no shared cache lines, so instrumentation no
+   longer serialises a [Par] pool the way the old mutex-guarded
+   histograms and contended atomic counters did.
+
+   Readers ([value], [snapshot]) merge the shards on demand under the
+   registry lock.  A merge that races a recording domain may miss its
+   very latest increments (plain reads of another domain's cells are
+   only guaranteed non-torn, not fresh) — exactly the right trade for
+   a live scrape.  After a [Par] join the pool's mutex hand-off makes
+   every worker write visible, so end-of-run totals are exact.
+
+   Gauges are the exception: [set] is last-write-wins, which does not
+   shard, so they stay one atomic cell each — and they are set from
+   cold paths only. *)
+
+type counter = { c_id : int }
 type gauge = { g_value : float Atomic.t }
+type histogram = { h_id : int }
 
 let nbuckets = 256
 
-type histogram = {
-  h_mutex : Mutex.t;
-  h_buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+(* one histogram's domain-local state; [hf] packs sum/min/max into a
+   flat float array so [observe] never boxes *)
+type hshard = { hb : int array; mutable hn : int; hf : float array }
+
+let hf_sum = 0
+and hf_min = 1
+and hf_max = 2
+
+let fresh_hshard () =
+  { hb = Array.make nbuckets 0; hn = 0; hf = [| 0.0; infinity; neg_infinity |] }
+
+type shard = {
+  mutable s_counters : int array;  (* by c_id *)
+  mutable s_hists : hshard option array;  (* by h_id *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -20,17 +47,30 @@ let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let next_counter_id = ref 0
+let next_histogram_id = ref 0
+let shards : shard list ref = ref []
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { s_counters = Array.make 16 0; s_hists = Array.make 16 None } in
+      with_lock registry_mutex (fun () -> shards := s :: !shards);
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+let prewarm () = ignore (my_shard ())
 
 let counter name =
   with_lock registry_mutex (fun () ->
       match Hashtbl.find_opt counters name with
       | Some c -> c
       | None ->
-          let c = { c_value = Atomic.make 0 } in
+          let c = { c_id = !next_counter_id } in
+          incr next_counter_id;
           Hashtbl.replace counters name c;
           c)
 
@@ -48,16 +88,8 @@ let histogram name =
       match Hashtbl.find_opt histograms name with
       | Some h -> h
       | None ->
-          let h =
-            {
-              h_mutex = Mutex.create ();
-              h_buckets = Array.make nbuckets 0;
-              h_count = 0;
-              h_sum = 0.0;
-              h_min = infinity;
-              h_max = neg_infinity;
-            }
-          in
+          let h = { h_id = !next_histogram_id } in
+          incr next_histogram_id;
           Hashtbl.replace histograms name h;
           h)
 
@@ -65,11 +97,41 @@ let histogram name =
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let incr c = if Sink.enabled () then Atomic.incr c.c_value
+(* Cell arrays grow by replacement: the owner allocates a copy, then
+   swaps the mutable field.  A concurrent merger holds either array —
+   the old one is merely stale, never invalid. *)
+
+let counter_cell s id =
+  let n = Array.length s.s_counters in
+  if id >= n then begin
+    let a = Array.make (max (id + 1) (2 * n)) 0 in
+    Array.blit s.s_counters 0 a 0 n;
+    s.s_counters <- a
+  end;
+  s.s_counters
+
+let hist_cell s id =
+  let n = Array.length s.s_hists in
+  if id >= n then begin
+    let a = Array.make (max (id + 1) (2 * n)) None in
+    Array.blit s.s_hists 0 a 0 n;
+    s.s_hists <- a
+  end;
+  match s.s_hists.(id) with
+  | Some hs -> hs
+  | None ->
+      let hs = fresh_hshard () in
+      s.s_hists.(id) <- Some hs;
+      hs
 
 let add c n =
-  if Sink.enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+  if Sink.enabled () then begin
+    let s = my_shard () in
+    let cells = counter_cell s c.c_id in
+    cells.(c.c_id) <- cells.(c.c_id) + n
+  end
 
+let incr c = add c 1
 let set g v = if Sink.enabled () then Atomic.set g.g_value v
 
 (* bucket [i >= 1] covers [2^((i-1)/4), 2^(i/4)); bucket 0 is (-inf, 1) *)
@@ -77,23 +139,30 @@ let bucket_index v =
   if not (v >= 1.0) then 0
   else min (nbuckets - 1) (1 + int_of_float (4.0 *. Float.log2 v))
 
-let bucket_representative hs_min hs_max i =
-  let raw =
-    if i = 0 then hs_min
-    else Float.exp2 ((float_of_int i -. 0.5) /. 4.0)
-  in
-  Float.min hs_max (Float.max hs_min raw)
-
 let observe h v =
-  if Sink.enabled () then
-    with_lock h.h_mutex (fun () ->
-        h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
-        h.h_count <- h.h_count + 1;
-        h.h_sum <- h.h_sum +. v;
-        if v < h.h_min then h.h_min <- v;
-        if v > h.h_max then h.h_max <- v)
+  if Sink.enabled () then begin
+    let s = my_shard () in
+    let hs = hist_cell s h.h_id in
+    let b = bucket_index v in
+    hs.hb.(b) <- hs.hb.(b) + 1;
+    hs.hn <- hs.hn + 1;
+    hs.hf.(hf_sum) <- hs.hf.(hf_sum) +. v;
+    if v < hs.hf.(hf_min) then hs.hf.(hf_min) <- v;
+    if v > hs.hf.(hf_max) then hs.hf.(hf_max) <- v
+  end
 
-let value c = Atomic.get c.c_value
+(* ------------------------------------------------------------------ *)
+(* Reading (shard merge)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let value_locked c =
+  List.fold_left
+    (fun acc s ->
+      let cells = s.s_counters in
+      acc + (if c.c_id < Array.length cells then cells.(c.c_id) else 0))
+    0 !shards
+
+let value c = with_lock registry_mutex (fun () -> value_locked c)
 let gauge_value g = Atomic.get g.g_value
 
 (* ------------------------------------------------------------------ *)
@@ -114,19 +183,40 @@ type snapshot = {
   histograms : (string * hist_snapshot) list;
 }
 
-let hist_snapshot h =
-  with_lock h.h_mutex (fun () ->
-      let buckets = ref [] in
-      for i = nbuckets - 1 downto 0 do
-        if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
-      done;
-      {
-        hs_count = h.h_count;
-        hs_sum = h.h_sum;
-        hs_min = (if h.h_count = 0 then 0.0 else h.h_min);
-        hs_max = (if h.h_count = 0 then 0.0 else h.h_max);
-        hs_buckets = !buckets;
-      })
+let hist_snapshot_locked h =
+  let buckets = Array.make nbuckets 0 in
+  let count = ref 0 in
+  let sum = ref 0.0 in
+  let minv = ref infinity in
+  let maxv = ref neg_infinity in
+  List.iter
+    (fun s ->
+      let cells = s.s_hists in
+      if h.h_id < Array.length cells then
+        match cells.(h.h_id) with
+        | None -> ()
+        | Some hs ->
+            for i = 0 to nbuckets - 1 do
+              buckets.(i) <- buckets.(i) + hs.hb.(i)
+            done;
+            count := !count + hs.hn;
+            sum := !sum +. hs.hf.(hf_sum);
+            if hs.hn > 0 then begin
+              if hs.hf.(hf_min) < !minv then minv := hs.hf.(hf_min);
+              if hs.hf.(hf_max) > !maxv then maxv := hs.hf.(hf_max)
+            end)
+    !shards;
+  let sparse = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if buckets.(i) > 0 then sparse := (i, buckets.(i)) :: !sparse
+  done;
+  {
+    hs_count = !count;
+    hs_sum = !sum;
+    hs_min = (if !count = 0 then 0.0 else !minv);
+    hs_max = (if !count = 0 then 0.0 else !maxv);
+    hs_buckets = !sparse;
+  }
 
 let by_name (a, _) (b, _) = String.compare a b
 
@@ -134,42 +224,60 @@ let snapshot () =
   with_lock registry_mutex (fun () ->
       {
         counters =
-          Hashtbl.fold (fun n c acc -> (n, value c) :: acc) counters []
+          Hashtbl.fold (fun n c acc -> (n, value_locked c) :: acc) counters []
           |> List.sort by_name;
         gauges =
           Hashtbl.fold (fun n g acc -> (n, gauge_value g) :: acc) gauges []
           |> List.sort by_name;
         histograms =
-          Hashtbl.fold (fun n h acc -> (n, hist_snapshot h) :: acc) histograms []
+          Hashtbl.fold
+            (fun n h acc -> (n, hist_snapshot_locked h) :: acc)
+            histograms []
           |> List.sort by_name;
       })
 
 let reset () =
   with_lock registry_mutex (fun () ->
-      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
-      Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0.0) gauges;
-      Hashtbl.iter
-        (fun _ h ->
-          with_lock h.h_mutex (fun () ->
-              Array.fill h.h_buckets 0 nbuckets 0;
-              h.h_count <- 0;
-              h.h_sum <- 0.0;
-              h.h_min <- infinity;
-              h.h_max <- neg_infinity))
-        histograms)
+      List.iter
+        (fun s ->
+          Array.fill s.s_counters 0 (Array.length s.s_counters) 0;
+          Array.iter
+            (function
+              | None -> ()
+              | Some hs ->
+                  Array.fill hs.hb 0 nbuckets 0;
+                  hs.hn <- 0;
+                  hs.hf.(hf_sum) <- 0.0;
+                  hs.hf.(hf_min) <- infinity;
+                  hs.hf.(hf_max) <- neg_infinity)
+            s.s_hists)
+        !shards;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0.0) gauges)
 
+(* Mid-bucket representative on the log scale; the caller clamps. *)
+let bucket_representative hs_min i =
+  if i = 0 then hs_min else Float.exp2 ((float_of_int i -. 0.5) /. 4.0)
+
+(* The raw log-bucket representative can land outside the observed
+   range — e.g. every observation equal to 10 puts the mass in the
+   bucket [9.51, 11.31) whose midpoint 10.37 exceeds the recorded max
+   — so the estimate is clamped into [min, max] here, at the single
+   exit, rather than per-bucket.  Pinned by the regression test in
+   test/test_obs.ml. *)
 let quantile hs p =
   if hs.hs_count = 0 then 0.0
   else begin
     let p = Float.min 1.0 (Float.max 0.0 p) in
-    let target = max 1 (int_of_float (Float.ceil (p *. float_of_int hs.hs_count))) in
+    let target =
+      max 1 (int_of_float (Float.ceil (p *. float_of_int hs.hs_count)))
+    in
     let rec walk cum = function
       | [] -> hs.hs_max
       | (i, c) :: rest ->
-          if cum + c >= target then bucket_representative hs.hs_min hs.hs_max i
+          if cum + c >= target then bucket_representative hs.hs_min i
           else walk (cum + c) rest
     in
-    walk 0 hs.hs_buckets
+    Float.min hs.hs_max (Float.max hs.hs_min (walk 0 hs.hs_buckets))
   end
 
 let find_counter snap name =

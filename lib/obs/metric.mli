@@ -7,8 +7,17 @@
     mutating operations ([incr], [add], [observe], [set]) are no-ops
     while {!Sink.enabled} is false.
 
-    All operations are thread-safe: counters are atomic, histograms
-    take a per-histogram lock, and registry creation is serialised.
+    {2 Sharded recording}
+
+    Counter and histogram recording is {e per-domain sharded}: each
+    domain owns a private shard of plain cells, so the hot path takes
+    no lock and touches no shared cache line — a [Par] pool's workers
+    record without contending.  Readers ({!value}, {!snapshot}) merge
+    the shards on demand under the registry lock.  A merge concurrent
+    with recording is a consistent-enough live view (it may miss the
+    recording domains' very latest increments); totals read after the
+    parallel region has joined are exact.  Gauges are last-write-wins
+    and stay a single atomic cell.
 
     {2 Histograms}
 
@@ -35,6 +44,10 @@ val add : counter -> int -> unit
 val set : gauge -> float -> unit
 val observe : histogram -> float -> unit
 
+val prewarm : unit -> unit
+(** Force-create the calling domain's shard now, so a worker's first
+    recording inside a timed region does not pay the registration. *)
+
 (** {1 Reading} *)
 
 val value : counter -> int
@@ -60,7 +73,9 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
-(** Consistent point-in-time copy of every registered metric. *)
+(** Merged copy of every registered metric.  Exact when no domain is
+    recording concurrently (e.g. after a [Par] join); during a live
+    run it is the scrape-consistent view described above. *)
 
 val reset : unit -> unit
 (** Zero every registered metric in place.  Handles held by

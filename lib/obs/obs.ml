@@ -3,6 +3,7 @@ module Clock = Clock
 module Sink = Sink
 module Metric = Metric
 module Span = Span
+module Event = Event
 
 let enable = Sink.enable
 let disable = Sink.disable
@@ -10,4 +11,5 @@ let enabled = Sink.enabled
 
 let reset_all () =
   Metric.reset ();
-  Span.reset ()
+  Span.reset ();
+  Event.reset ()

@@ -14,6 +14,7 @@ module Clock = Clock
 module Sink = Sink
 module Metric = Metric
 module Span = Span
+module Event = Event
 
 val enable : unit -> unit
 (** Alias of {!Sink.enable}. *)
@@ -22,5 +23,5 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset_all : unit -> unit
-(** Zero every metric and drop every collected span.  Registered metric
-    handles stay valid. *)
+(** Zero every metric, drop every collected span, and clear the
+    flight-recorder ring.  Registered metric handles stay valid. *)

@@ -30,11 +30,18 @@ let with_ ?(args = []) name f =
     let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
+    Event.record ~kind:"span" ~args:(("span", name) :: args) "span.open";
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Clock.now_ns () in
         depth := d;
+        Event.record ~kind:"span"
+          ~args:
+            (("span", name)
+            :: ("dur_ns", Int64.to_string (Int64.sub t1 t0))
+            :: args)
+          "span.close";
         record
           {
             name;

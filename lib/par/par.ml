@@ -76,7 +76,11 @@ module Pool = struct
       t.spawned <- true;
       t.domains <-
         List.init (t.size - 1) (fun i ->
-            Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) t.epoch))
+            Domain.spawn (fun () ->
+                (* register this domain's metric shard before any timed
+                   work so the first in-task [incr] is just a store *)
+                Obs.Metric.prewarm ();
+                worker_loop t ~slot:(i + 1) t.epoch))
     end
 
   let shutdown t =
@@ -179,6 +183,18 @@ let non_retryable e =
 
 let task_retries = Obs.Metric.counter "par.task_retries"
 
+let record_retry ~task ~attempt ~slot e =
+  Obs.Metric.incr task_retries;
+  Obs.Event.record ~kind:"par"
+    ~args:
+      [
+        ("task", string_of_int task);
+        ("attempt", string_of_int attempt);
+        ("slot", string_of_int slot);
+        ("exn", Printexc.to_string e);
+      ]
+    "par.retry"
+
 let run (t : Pool.t) ~tasks f =
   if tasks > 0 then
     if t.Pool.size <= 1 || tasks = 1 || t.Pool.stopping then
@@ -189,7 +205,7 @@ let run (t : Pool.t) ~tasks f =
         let rec attempt k =
           try f i
           with e when k < max_attempts && not (non_retryable e) ->
-            Obs.Metric.incr task_retries;
+            record_retry ~task:i ~attempt:k ~slot:0 e;
             attempt (k + 1)
         in
         attempt 1
@@ -270,7 +286,7 @@ let run (t : Pool.t) ~tasks f =
                 settle ()
               end
               else begin
-                Obs.Metric.incr task_retries;
+                record_retry ~task:i ~attempt ~slot e;
                 push_retry (i, attempt + 1, slot, e, bt)
               end
       in

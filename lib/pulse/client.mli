@@ -1,0 +1,8 @@
+(** A matching minimal HTTP/1.0 client, for [folearn_cli pulse], the
+    exporter-overhead bench scraper, and the tests — so the repo keeps
+    its zero-external-dependency rule on both ends of the socket. *)
+
+val get : Addr.t -> string -> (string, string) result
+(** [get addr "/metrics"] returns the response body on HTTP 200, and a
+    descriptive error on connect failure, malformed response, or any
+    other status. *)

@@ -1,0 +1,64 @@
+type t = {
+  run_id : string;
+  solver : string;
+  frontier : int;
+  total : int option;
+  best : (int * int) option;
+  sample_size : int;
+  fuel_spent : int option;
+  elapsed_ns : int64 option;
+  fuel_lo : int option;
+  fuel_hi : int option;
+}
+
+let frac num den =
+  if den <= 0 then None
+  else Some (Float.min 1.0 (float_of_int num /. float_of_int den))
+
+let to_json p =
+  let opt_int = function None -> Obs.Json.Null | Some i -> Obs.Json.Int i in
+  let opt_float = function
+    | None -> Obs.Json.Null
+    | Some f -> Obs.Json.Float f
+  in
+  let best_err =
+    match p.best with
+    | Some (_, e) when p.sample_size > 0 ->
+        Some (float_of_int e /. float_of_int p.sample_size)
+    | _ -> None
+  in
+  (* % complete the way a scraper wants it: observed Guard spend over
+     the plan's fuel_hi envelope (the PR 6 cost model), with the
+     settled-frontier fraction as a second, enumeration-level view *)
+  let complete_frac =
+    match (p.fuel_spent, p.fuel_hi) with
+    | Some spent, Some hi -> frac spent hi
+    | _ -> None
+  in
+  let frontier_frac =
+    match p.total with Some total -> frac p.frontier total | None -> None
+  in
+  Obs.Json.Obj
+    [
+      ("run_id", Obs.Json.String p.run_id);
+      ("solver", Obs.Json.String p.solver);
+      ("frontier", Obs.Json.Int p.frontier);
+      ("total", opt_int p.total);
+      ( "best",
+        match p.best with
+        | None -> Obs.Json.Null
+        | Some (i, e) ->
+            Obs.Json.Obj
+              [ ("index", Obs.Json.Int i); ("errors", Obs.Json.Int e) ] );
+      ("best_err", opt_float best_err);
+      ("sample_size", Obs.Json.Int p.sample_size);
+      ("fuel_spent", opt_int p.fuel_spent);
+      ( "elapsed_ns",
+        match p.elapsed_ns with
+        | None -> Obs.Json.Null
+        | Some ns -> Obs.Json.Int (Int64.to_int ns) );
+      ("fuel_lo", opt_int p.fuel_lo);
+      ("fuel_hi", opt_int p.fuel_hi);
+      ("frontier_frac", opt_float frontier_frac);
+      ("complete_frac", opt_float complete_frac);
+    ]

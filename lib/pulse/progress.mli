@@ -1,0 +1,27 @@
+(** The [/progress] payload: live run state assembled by the CLI's
+    sampler and rendered for scrapers.
+
+    The record marries three layers: the [Resil.Ctl] settled-chunk
+    frontier and best-so-far, the [Guard] budget spend, and the
+    [Analysis.Plan] cost envelope ([fuel_lo]/[fuel_hi]) — so a scraper
+    can compute percent-complete as [fuel_spent / fuel_hi] (emitted
+    pre-divided as [complete_frac], alongside the enumeration-level
+    [frontier_frac] = frontier/total). *)
+
+type t = {
+  run_id : string;
+  solver : string;
+  frontier : int;  (** settled-candidate frontier *)
+  total : int option;  (** candidate count, when it fits in an [int] *)
+  best : (int * int) option;  (** best-so-far [(index, error count)] *)
+  sample_size : int;
+  fuel_spent : int option;  (** observed Guard fuel *)
+  elapsed_ns : int64 option;
+  fuel_lo : int option;  (** plan envelope lower bound, when finite *)
+  fuel_hi : int option;  (** plan envelope upper bound, when finite *)
+}
+
+val to_json : t -> Obs.Json.t
+(** Adds derived [best_err] (errors / sample size), [frontier_frac]
+    and [complete_frac] members; absent data is [null], and fractions
+    are clamped to [[0, 1]]. *)

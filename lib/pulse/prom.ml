@@ -1,0 +1,69 @@
+(* Prometheus text exposition (version 0.0.4) of an obs snapshot.
+   Counters map to counters, gauges to gauges, and the log-bucket
+   histograms to summaries (pre-computed p50/p90/p99 quantiles plus
+   _sum/_count), with the tracked min/max as companion gauges — the
+   sparse power-of-2^(1/4) buckets have no faithful [le]-label
+   encoding, and the quantiles are what the dashboards want anyway. *)
+
+let ok_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let sanitize name =
+  let b = Bytes.of_string ("folearn_" ^ name) in
+  for i = 0 to Bytes.length b - 1 do
+    if not (ok_char (Bytes.get b i)) then Bytes.set b i '_'
+  done;
+  Bytes.to_string b
+
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.10g" v
+
+let render (snap : Obs.Metric.snapshot) =
+  let buf = Buffer.create 4096 in
+  let header name ty orig =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s folearn %s %s\n# TYPE %s %s\n" name ty orig
+         name ty)
+  in
+  List.iter
+    (fun (orig, v) ->
+      let name = sanitize orig in
+      header name "counter" orig;
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    snap.Obs.Metric.counters;
+  List.iter
+    (fun (orig, v) ->
+      let name = sanitize orig in
+      header name "gauge" orig;
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_str v)))
+    snap.Obs.Metric.gauges;
+  List.iter
+    (fun (orig, hs) ->
+      let name = sanitize orig in
+      header name "summary" orig;
+      List.iter
+        (fun (q, label) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name label
+               (float_str (Obs.Metric.quantile hs q))))
+        [ (0.5, "0.5"); (0.9, "0.9"); (0.99, "0.99") ];
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" name
+           (float_str hs.Obs.Metric.hs_sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" name hs.Obs.Metric.hs_count);
+      List.iter
+        (fun (suffix, v) ->
+          let gname = name ^ suffix in
+          header gname "gauge" (orig ^ suffix);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" gname (float_str v)))
+        [ ("_min", hs.Obs.Metric.hs_min); ("_max", hs.Obs.Metric.hs_max) ])
+    snap.Obs.Metric.histograms;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** The zero-dependency live telemetry exporter: a minimal HTTP/1.0
+    responder on a Unix or TCP socket, served from its own domain so a
+    scrape never blocks the learner.
+
+    Routes (all [GET], read-only):
+    - [/metrics] — Prometheus text exposition ({!Prom.render}) of the
+      live {!Obs.Metric.snapshot};
+    - [/metrics.json] — the same snapshot in the existing obs JSON
+      schema ([Obs.Metric.snapshot_to_json]);
+    - [/healthz] — ["ok"];
+    - [/progress] — the registered {!set_progress} sampler's JSON
+      (see {!Progress}), or [{}] when none is installed.
+
+    This is the first networking slice of the folserve daemon
+    (ROADMAP item 1): the listener/route skeleton is what the framed
+    request protocol will grow on. *)
+
+type t
+
+val start : Addr.t -> (t, string) result
+(** Bind, listen and spawn the serving domain.  TCP sockets set
+    [SO_REUSEADDR]; an existing Unix socket path is replaced.  Binding
+    TCP port 0 picks an ephemeral port — read it back with
+    {!bound_addr}. *)
+
+val bound_addr : t -> Addr.t
+(** The actually-bound address (kernel-chosen port resolved). *)
+
+val stop : t -> unit
+(** Stop accepting (prompt: the loop polls every 0.25 s), join the
+    serving domain, close and unlink the socket. *)
+
+val set_progress : (unit -> Obs.Json.t) option -> unit
+(** Install the process-wide [/progress] sampler.  The CLI registers a
+    closure over the live run's [Resil.Ctl], Guard budget and
+    [Analysis.Plan] envelope; sampler exceptions are reported in-band
+    as [{"error": ...}]. *)

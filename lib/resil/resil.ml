@@ -226,7 +226,16 @@ module Snapshot = struct
       ~args:[ ("cursor", string_of_int s.cursor) ]
     @@ fun () ->
     atomic_write ~path (encode s);
-    Obs.Metric.incr snapshot_writes
+    Obs.Metric.incr snapshot_writes;
+    Obs.Event.record ~kind:"resil"
+      ~args:
+        [
+          ("path", path);
+          ("cursor", string_of_int s.cursor);
+          ("writes", string_of_int s.writes);
+          ("complete", string_of_bool s.complete);
+        ]
+      "resil.snapshot.save"
 
   let load path =
     Obs.Span.with_ "resil.snapshot.load" @@ fun () ->
@@ -253,6 +262,7 @@ module Ctl = struct
 
   type t = {
     active : bool;
+    track : bool;  (* maintain the frontier/best, even when not active *)
     run_id : string;
     solver : string;
     path : string option;
@@ -274,13 +284,14 @@ module Ctl = struct
     stride : int Atomic.t;
   }
 
-  let make ~active ?path ?(every = max_int) ?(interval_s = default_interval_s)
-      ?budget ?resume ~run_id ~solver () =
+  let make ~active ?(track = active) ?path ?(every = max_int)
+      ?(interval_s = default_interval_s) ?budget ?resume ~run_id ~solver () =
     let counter_names =
       [ "erm.hypotheses_enumerated"; "erm.consistency_checks" ]
     in
     {
       active;
+      track;
       run_id;
       solver;
       path;
@@ -309,11 +320,24 @@ module Ctl = struct
     make ~active:true ?path ?every ?interval_s ?budget ?resume ~run_id ~solver
       ()
 
+  (* A passive frontier tracker for live /progress reporting: it keeps
+     the settled frontier and best-so-far that [chunk_done] reports but
+     is not "active" — solvers still run their admission prechecks and
+     never treat the run as checkpointed/resumable. *)
+  let observer ~run_id ~solver () =
+    make ~active:false ~track:true ~run_id ~solver ()
+
   let active t = t.active
   let resumed t = t.resumed
   let resume_cursor t = t.resume_cursor
   let writes t = t.writes
   let frontier t = t.frontier
+
+  let best t =
+    Mutex.lock t.m;
+    let b = t.best in
+    Mutex.unlock t.m;
+    b
 
   let should_eval t i =
     (not t.active)
@@ -343,7 +367,7 @@ module Ctl = struct
     | head :: rest -> head :: insert_interval iv rest
 
   let chunk_done t ~lo ~hi ~best =
-    if t.active && hi > lo then begin
+    if t.track && hi > lo then begin
       Mutex.lock t.m;
       merge_best t best;
       if lo <= t.frontier then begin

@@ -109,9 +109,20 @@ module Ctl : sig
       seeds the skip cursor and best from a loaded snapshot; the
       [writes] count carries over. *)
 
+  val observer : run_id:string -> solver:string -> unit -> t
+  (** A passive frontier tracker: {!chunk_done} maintains the settled
+      frontier and best-so-far (read by the live [/progress] endpoint
+      of [folearn.pulse]), but the controller is {e not} {!active} —
+      nothing is ever written, {!should_eval} is always true, and
+      solvers still run their admission prechecks. *)
+
   val active : t -> bool
   val resumed : t -> bool
   val resume_cursor : t -> int
+
+  val best : t -> (int * int) option
+  (** Best-so-far [(index, error count)] reported through
+      {!chunk_done}, for live progress export. *)
 
   val should_eval : t -> int -> bool
   (** Must candidate [i] be evaluated (rather than replay-skipped)?

@@ -19,6 +19,7 @@ HEADLINE = {
     "hypotheses_enumerated": int,
     "resumed": bool,
     "checkpoint_writes": int,
+    "events_recorded": int,
     "rows": list,
     "metrics": dict,
 }
@@ -59,6 +60,8 @@ def check(path: str) -> None:
         fail(f"{path}: jobs must be >= 1")
     if doc["checkpoint_writes"] < 0:
         fail(f"{path}: negative checkpoint_writes")
+    if doc["events_recorded"] < 0:
+        fail(f"{path}: negative events_recorded")
     for section in METRIC_SECTIONS:
         if not isinstance(doc["metrics"].get(section), dict):
             fail(f"{path}: metrics.{section} missing or not an object")

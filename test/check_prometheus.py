@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape from the live exporter.
+
+Usage: check_prometheus.py METRICS_FILE [--against STATS_JSON]
+
+Checks the exposition shape (version 0.0.4): every sample line parses
+as `name[{labels}] value`, every sample family is announced by a
+preceding # TYPE line with a known type, no family is announced twice,
+and every family name carries the folearn_ prefix.
+
+With --against, the scrape is cross-checked against a --stats-json
+snapshot from the SAME run: every snapshot counter that appears in the
+scrape (sanitized name) must sit between 0 and its end-of-run total —
+the scrape was taken mid-run, so monotone counters can only be lower
+or equal. Counters register lazily on first use, so ones that only
+came alive after the scrape are tolerated (but at least one counter
+must cross-check, to catch scraping the wrong run entirely).
+"""
+import argparse
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|NaN|\+Inf|-Inf)$"
+)
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def fail(msg):
+    print(f"check_prometheus: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sanitize(name):
+    return "folearn_" + re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def family_of(name):
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(path):
+    types = {}
+    samples = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4:
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                _, _, name, ty = parts
+                if ty not in KNOWN_TYPES:
+                    fail(f"{path}:{lineno}: unknown metric type {ty!r}")
+                if name in types:
+                    fail(f"{path}:{lineno}: duplicate TYPE for {name}")
+                types[name] = ty
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: unparsable sample line: {line!r}")
+            name, labels, value = m.groups()
+            fam = family_of(name)
+            if fam not in types and name not in types:
+                fail(f"{path}:{lineno}: sample {name} has no TYPE line")
+            if not name.startswith("folearn_"):
+                fail(f"{path}:{lineno}: {name} lacks the folearn_ prefix")
+            try:
+                num = float(value)
+            except ValueError:
+                fail(f"{path}:{lineno}: bad value {value!r}")
+            # bare (label-free) samples are the ones --against checks
+            if not labels:
+                samples[name] = num
+    if not types:
+        fail(f"{path}: no metric families found")
+    return types, samples
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("metrics")
+    ap.add_argument(
+        "--against", metavar="STATS_JSON",
+        help="a --stats-json snapshot from the same run; counters present "
+             "in both must satisfy 0 <= scraped <= final")
+    args = ap.parse_args()
+
+    types, samples = parse(args.metrics)
+
+    if args.against:
+        with open(args.against, encoding="utf-8") as fh:
+            snap = json.load(fh)
+        counters = snap.get("counters")
+        if not isinstance(counters, dict):
+            fail(f"{args.against}: no counters section")
+        checked = 0
+        skipped = []
+        for name, final in counters.items():
+            prom = sanitize(name)
+            if prom not in samples:
+                # counters register lazily on first use; one that only
+                # came alive after the scrape cannot be in it
+                skipped.append(name)
+                continue
+            mid = samples[prom]
+            if types.get(prom) != "counter":
+                fail(f"{prom}: exported as {types.get(prom)!r}, not counter")
+            if not (0 <= mid <= final):
+                fail(f"counter {name}: scraped {mid} outside [0, {final}] "
+                     "(mid-run scrape of a monotone counter)")
+            checked += 1
+        if checked == 0:
+            fail("no counter of the snapshot appeared in the scrape")
+        extra = f", {len(skipped)} registered after the scrape" if skipped \
+            else ""
+        print(f"check_prometheus: ok ({len(types)} families, "
+              f"{checked} counters cross-checked{extra})")
+    else:
+        print(f"check_prometheus: ok ({len(types)} families, "
+              f"{len(samples)} bare samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,4 +24,5 @@ let () =
       ("guard", Test_guard.suite);
       ("par", Test_par.suite);
       ("resil", Test_resil.suite);
+      ("pulse", Test_pulse.suite);
     ]

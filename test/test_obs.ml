@@ -125,6 +125,41 @@ let test_histogram_percentiles () =
            0.5
         = 0.0))
 
+(* regression: on narrow integer data the log-bucket representative can
+   exceed the tracked maximum (cgraph.bfs.ball_size once reported
+   p99 = 17.45 with max = 18 but p50 = 10.37 on all-10 data) — every
+   quantile must be clamped into [min, max] *)
+let test_quantile_clamped_to_range () =
+  with_sink (fun () ->
+      let h = Obs.Metric.histogram "test.clamp" in
+      for _ = 1 to 100 do
+        Obs.Metric.observe h 10.0
+      done;
+      let snap = Obs.Metric.snapshot () in
+      let hs = List.assoc "test.clamp" snap.Obs.Metric.histograms in
+      (* all mass in bucket [9.51, 11.31): the raw midpoint 10.37 > max *)
+      List.iter
+        (fun p ->
+          let v = Obs.Metric.quantile hs p in
+          check (Printf.sprintf "p%g within [min, max]" (p *. 100.0)) true
+            (v >= hs.Obs.Metric.hs_min && v <= hs.Obs.Metric.hs_max);
+          check (Printf.sprintf "p%g is exactly 10" (p *. 100.0)) true
+            (v = 10.0))
+        [ 0.5; 0.9; 0.99 ];
+      (* mixed integer data: quantiles must be monotone and in range *)
+      let h2 = Obs.Metric.histogram "test.clamp2" in
+      List.iter
+        (fun v -> Obs.Metric.observe h2 (float_of_int v))
+        [ 10; 10; 10; 10; 12; 13; 14; 15; 17; 18 ];
+      let snap = Obs.Metric.snapshot () in
+      let hs2 = List.assoc "test.clamp2" snap.Obs.Metric.histograms in
+      let p50 = Obs.Metric.quantile hs2 0.5 in
+      let p90 = Obs.Metric.quantile hs2 0.9 in
+      let p99 = Obs.Metric.quantile hs2 0.99 in
+      check "p50 <= p90 <= p99" true (p50 <= p90 && p90 <= p99);
+      check "all within [min, max]" true
+        (p50 >= hs2.Obs.Metric.hs_min && p99 <= hs2.Obs.Metric.hs_max))
+
 let test_snapshot_json_roundtrip () =
   with_sink (fun () ->
       Obs.Metric.incr (Obs.Metric.counter "rt.counter");
@@ -272,6 +307,8 @@ let suite =
       test_counter_registry_shared;
     Alcotest.test_case "histogram percentiles" `Quick
       test_histogram_percentiles;
+    Alcotest.test_case "quantiles clamped to [min, max]" `Quick
+      test_quantile_clamped_to_range;
     Alcotest.test_case "snapshot JSON round-trip" `Quick
       test_snapshot_json_roundtrip;
     Alcotest.test_case "json parser" `Quick test_json_parser;
