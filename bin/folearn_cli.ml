@@ -193,6 +193,18 @@ let with_pulse ~cmd { metrics_addr; fdr } f =
                 (Pulse.Addr.to_string (Pulse.Server.bound_addr srv));
               Fun.protect
                 ~finally:(fun () ->
+                  (* a signal flipped the exporter into draining mode:
+                     hold the server up for a beat so scrapers observe
+                     the 503 before the socket closes (used by CI;
+                     default is no grace, stop immediately) *)
+                  (if Pulse.Server.draining () then
+                     match
+                       Option.bind
+                         (Sys.getenv_opt "FOLEARN_DRAIN_GRACE")
+                         float_of_string_opt
+                     with
+                     | Some s when s > 0.0 -> Unix.sleepf s
+                     | _ -> ());
                   Pulse.Server.set_progress None;
                   Pulse.Server.stop srv)
                 f))
@@ -391,11 +403,17 @@ let ckpt_term =
     const mk $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_interval_arg
     $ resume_arg)
 
-(* the handler body is async-signal-safe (one atomic store); the next
+(* the handler body is async-signal-safe (two atomic stores); the next
    budgeted tick on any domain converts the flag into an [Interrupted]
-   trip, and the outcome handler flushes a final snapshot *)
+   trip, the outcome handler flushes a final snapshot, and a live
+   /healthz endpoint starts answering 503 draining *)
 let install_signals () =
-  let h = Sys.Signal_handle (fun _ -> Guard.interrupt ()) in
+  let h =
+    Sys.Signal_handle
+      (fun _ ->
+        Guard.interrupt ();
+        Pulse.Server.set_draining true)
+  in
   Sys.set_signal Sys.sigint h;
   Sys.set_signal Sys.sigterm h
 
@@ -411,30 +429,14 @@ let setup_resilience ~cmd ~solver ~run_id ~budget
     match ck_resume with
     | None -> None
     | Some path -> (
-        match Resil.Snapshot.load path with
+        match Resil.Snapshot.load_for ~run_id ~solver path with
         | Ok snap ->
-            if snap.Resil.Snapshot.run_id <> run_id then begin
-              Format.eprintf
-                "folearn %s: --resume %s: snapshot belongs to a different \
-                 run (id %s, expected %s)@."
-                cmd path snap.Resil.Snapshot.run_id run_id;
-              exit 2
-            end
-            else if snap.Resil.Snapshot.solver <> solver then begin
-              Format.eprintf
-                "folearn %s: --resume %s: snapshot was written by solver \
-                 %s, this run uses %s@."
-                cmd path snap.Resil.Snapshot.solver solver;
-              exit 2
-            end
-            else begin
-              Format.eprintf
-                "folearn %s: resuming from %s (cursor %d, %d snapshot \
-                 writes so far)@."
-                cmd path snap.Resil.Snapshot.cursor
-                snap.Resil.Snapshot.writes;
-              Some snap
-            end
+            Format.eprintf
+              "folearn %s: resuming from %s (cursor %d, %d snapshot \
+               writes so far)@."
+              cmd path snap.Resil.Snapshot.cursor
+              snap.Resil.Snapshot.writes;
+            Some snap
         | Error `Not_found ->
             Format.eprintf "folearn %s: no snapshot at %s; starting fresh@."
               cmd path;
@@ -442,6 +444,14 @@ let setup_resilience ~cmd ~solver ~run_id ~budget
         | Error (`Corrupt msg) ->
             Format.eprintf "folearn %s: --resume %s: corrupt snapshot: %s@."
               cmd path msg;
+            exit 2
+        | Error (`Mismatch m) ->
+            Format.eprintf "folearn %s: --resume %s: %a@." cmd path
+              Resil.Snapshot.pp_mismatch m;
+            Format.eprintf
+              "folearn %s: hint: that snapshot belongs to another \
+               invocation; pass a fresh --checkpoint path to start over@."
+              cmd;
             exit 2)
   in
   let wants_ckpt = ck_path <> None || resume <> None in
@@ -499,6 +509,134 @@ let exhausted_exit reason ~salvaged =
 let run_id_of parts = Digest.to_hex (Digest.string (String.concat "\n" parts))
 
 (* ------------------------------------------------------------------ *)
+(* fleet: fault-tolerant multi-process ERM sharding (learn only)       *)
+(* ------------------------------------------------------------------ *)
+
+(* `learn --fleet DIR --workers N` runs the coordinator: it shards the
+   candidate space into lease-claimed chunks under DIR, keeps N worker
+   processes alive (respawning dead ones), and merges their published
+   frontiers into the deterministic (error, index) lex-min — so the
+   final output is byte-identical to a sequential run.  `--worker`
+   turns the invocation into a claimant for an externally supervised
+   fleet (same DIR, same learn flags). *)
+
+type fleet_opts = {
+  f_dir : string option;
+  f_workers : int;
+  f_worker : bool;
+  f_worker_id : string option;
+  f_heartbeat : float;
+  f_chunk : int option;
+  f_max_attempts : int;
+  f_chaos : string option;
+}
+
+let fleet_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fleet" ] ~docv:"DIR"
+        ~doc:
+          "Shard the ERM sweep across processes coordinating through \
+           $(docv) (lease files, heartbeat expiry, fenced publishes).  \
+           The directory is the durable state: re-running the same \
+           command against it resumes where the fleet left off.")
+
+let fleet_workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker processes the coordinator spawns and keeps alive \
+           (default 1; 0 = externally supervised $(b,--worker) \
+           claimants only).")
+
+let fleet_worker_arg =
+  Arg.(
+    value & flag
+    & info [ "worker" ]
+        ~doc:
+          "Run as a fleet worker: claim chunks from $(b,--fleet) DIR, \
+           evaluate, publish, repeat until the coordinator writes DONE.  \
+           Prints nothing to stdout.")
+
+let fleet_worker_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fleet-worker-id" ] ~docv:"ID"
+        ~doc:"Worker id recorded in leases (default: w-ext-<pid>).")
+
+let fleet_heartbeat_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "fleet-heartbeat" ] ~docv:"SECONDS"
+        ~doc:
+          "Lease heartbeat: a worker renews its lease every third of \
+           this, and the coordinator reclaims chunks whose lease \
+           deadline passed (default 5).")
+
+let fleet_chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fleet-chunk" ] ~docv:"N"
+        ~doc:
+          "Candidates per chunk (default: candidate count / (8 x \
+           workers), at most 4096 chunks).")
+
+let fleet_max_attempts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "fleet-max-attempts" ] ~docv:"N"
+        ~doc:
+          "Quarantine a chunk after $(docv) failed attempts instead of \
+           retrying forever (default 3).")
+
+let fleet_chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fleet-chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Test-only fault injection: comma-separated $(b,poison:C) \
+           (chunk C always fails deterministically) and $(b,flaky:C:N) \
+           (chunk C fails transiently on its first N claims) terms, \
+           applied by workers.")
+
+let fleet_term =
+  let mk f_dir f_workers f_worker f_worker_id f_heartbeat f_chunk
+      f_max_attempts f_chaos =
+    {
+      f_dir; f_workers; f_worker; f_worker_id; f_heartbeat; f_chunk;
+      f_max_attempts; f_chaos;
+    }
+  in
+  Term.(
+    const mk $ fleet_dir_arg $ fleet_workers_arg $ fleet_worker_arg
+    $ fleet_worker_id_arg $ fleet_heartbeat_arg $ fleet_chunk_arg
+    $ fleet_max_attempts_arg $ fleet_chaos_arg)
+
+let fleet_chaos_of ~cmd = function
+  | None -> []
+  | Some spec -> (
+      match Fleet.parse_chaos spec with
+      | Ok chaos -> chaos
+      | Error m ->
+          Format.eprintf "folearn %s: --fleet-chaos: %s@." cmd m;
+          exit 2)
+
+(* fleet shards the indexable parameter sweeps; nd and local have no
+   stable candidate numbering to shard over *)
+let fleet_check_solver ~cmd solver =
+  match solver with
+  | `Brute | `Counting -> ()
+  | `Nd | `Local ->
+      Format.eprintf
+        "folearn %s: --fleet supports --solver brute and counting only@." cmd;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
 (* learn                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -551,16 +689,13 @@ let learn_cmd =
           ~doc:"Sample size (0 = label every tuple of the graph).")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run g colors target k ell q solver tmax noise m seed fuel timeout
-      max_table max_ball no_precheck jobs ckpt_opts pulse trace stats
-      stats_json =
-    apply_jobs jobs;
-    let precheck = not no_precheck in
-    with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
-    with_pulse ~cmd:"learn" pulse @@ fun () ->
+  (* shared by the solo path, the fleet coordinator and fleet workers:
+     parse/validate the target, colour the graph, fix the run identity
+     and label the training sequence.  Workers must rebuild exactly
+     this state from their own flags, so it only depends on the
+     arguments — never on ambient process state. *)
+  let learn_prep g colors target k ell q solver tmax noise m seed =
     let target = parse_formula_or_exit ~cmd:"learn" ~flag:"--target" target in
-    let user_budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
-    let budget = budget_for_pulse pulse user_budget in
     let g = with_cli_colors g colors in
     let solver_name =
       match solver with
@@ -578,18 +713,6 @@ let learn_cmd =
           string_of_int tmax; string_of_float noise; string_of_int m;
           string_of_int seed;
         ]
-    in
-    let budget, ckpt =
-      setup_resilience ~cmd:"learn" ~solver:solver_name ~run_id ~budget
-        ckpt_opts
-    in
-    (* no checkpointing asked for, but a live /progress endpoint wants
-       the settled frontier: track it passively (admission prechecks
-       still see an un-checkpointed run) *)
-    let ckpt =
-      if pulse.metrics_addr <> None && not (Resil.Ctl.active ckpt) then
-        Resil.Ctl.observer ~run_id ~solver:solver_name ()
-      else ckpt
     in
     let module Sam = Folearn.Sample in
     let xvars = Folearn.Hypothesis.xvars k in
@@ -614,6 +737,318 @@ let learn_cmd =
       Sam.label_with_query g ~formula:target ~xvars tuples
       |> fun l -> if noise > 0.0 then Sam.flip_noise ~seed ~p:noise l else l
     in
+    (g, solver_name, run_id, tuples, lam)
+  in
+  (* fleet worker: claim/evaluate/publish against --fleet DIR until the
+     coordinator writes DONE.  No stdout, no telemetry, no signal
+     rewiring — the coordinator owns the run's observable surface. *)
+  let run_fleet_worker fleet g colors target k ell q solver tmax noise m seed
+      fuel timeout max_table max_ball =
+    let dir =
+      match fleet.f_dir with
+      | Some d -> d
+      | None ->
+          Format.eprintf "folearn learn: --worker requires --fleet DIR@.";
+          exit 2
+    in
+    fleet_check_solver ~cmd:"learn" solver;
+    let chaos = fleet_chaos_of ~cmd:"learn" fleet.f_chaos in
+    let g, solver_name, run_id, _tuples, lam =
+      learn_prep g colors target k ell q solver tmax noise m seed
+    in
+    let eval =
+      match solver with
+      | `Brute ->
+          fun ~lo ~hi -> Folearn.Erm_brute.eval_range g ~k ~ell ~q lam ~lo ~hi
+      | `Counting ->
+          fun ~lo ~hi ->
+            Folearn.Erm_counting.eval_range g ~k ~ell ~q ~tmax lam ~lo ~hi
+      | _ -> assert false
+    in
+    Fleet.worker
+      {
+        Fleet.w_dir = dir;
+        w_id =
+          (match fleet.f_worker_id with
+          | Some id -> id
+          | None -> Printf.sprintf "w-ext-%d" (Unix.getpid ()));
+        w_run_id = run_id;
+        w_solver = solver_name;
+        w_parent =
+          Option.bind
+            (Sys.getenv_opt "FOLEARN_FLEET_PARENT")
+            int_of_string_opt;
+        w_chaos = chaos;
+        w_make_budget =
+          (fun () -> budget_of ~fuel ~timeout ~max_table ~max_ball);
+      }
+      ~eval
+  in
+  (* fleet coordinator: shard, supervise, merge; the printed result is
+     byte-identical to the sequential solver's *)
+  let run_fleet_coordinator ~dir fleet ~precheck g colors target k ell q
+      solver tmax noise m seed fuel timeout max_table max_ball ckpt_opts pulse
+      =
+    fleet_check_solver ~cmd:"learn" solver;
+    (match (ckpt_opts.ck_path, ckpt_opts.ck_resume) with
+    | None, None -> ()
+    | _ ->
+        Format.eprintf
+          "folearn learn: --fleet and --checkpoint/--resume are mutually \
+           exclusive (the fleet directory is the durable state)@.";
+        exit 2);
+    (match fleet.f_worker_id with
+    | None -> ()
+    | Some _ ->
+        Format.eprintf "folearn learn: --fleet-worker-id requires --worker@.";
+        exit 2);
+    if fleet.f_workers < 0 then begin
+      Format.eprintf "folearn learn: --workers must be >= 0 (got %d)@."
+        fleet.f_workers;
+      exit 2
+    end;
+    if fleet.f_heartbeat <= 0.0 then begin
+      Format.eprintf "folearn learn: --fleet-heartbeat must be positive@.";
+      exit 2
+    end;
+    if fleet.f_max_attempts < 1 then begin
+      Format.eprintf "folearn learn: --fleet-max-attempts must be >= 1@.";
+      exit 2
+    end;
+    (* workers apply the chaos spec; validate it up front anyway so a
+       typo fails the run before any fork *)
+    let (_ : Fleet.chaos list) = fleet_chaos_of ~cmd:"learn" fleet.f_chaos in
+    let g, solver_name, run_id, _tuples, lam =
+      learn_prep g colors target k ell q solver tmax noise m seed
+    in
+    let module Sam = Folearn.Sample in
+    Format.printf "training sequence: %d examples (%d positive)@."
+      (Sam.size lam)
+      (List.length (Sam.positives lam));
+    let n = Graph.order g in
+    let total =
+      match Graph.Tuple.count ~n ~k:ell with
+      | Some t -> t
+      | None ->
+          Format.eprintf
+            "folearn learn: --fleet: the candidate space n^ell does not fit \
+             in an int; nothing to shard@.";
+          exit 2
+    in
+    let user_budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    let what, plan_solver =
+      match solver with
+      | `Brute -> ("Erm_brute", Analysis.Plan.Brute)
+      | `Counting -> ("Erm_counting", Analysis.Plan.Counting)
+      | _ -> assert false
+    in
+    (* same admission gate the sequential solvers run: a per-chunk
+       budget provably below the first-settle floor is rejected before
+       any worker forks *)
+    (match
+       Folearn.Admission.erm ?budget:user_budget ~tmax ~enabled:precheck ~what
+         ~solver:plan_solver g ~k ~ell ~q lam
+     with
+    | Some (Guard.Exhausted { reason; checkpoint; spent; _ }) ->
+        report_exhausted ~cmd:"learn" ~reason ~checkpoint ~spent;
+        Format.eprintf "folearn learn: no hypothesis salvaged@.";
+        exit (exhausted_exit reason ~salvaged:false)
+    | Some (Guard.Complete _) | None -> ());
+    Guard.clear_interrupt ();
+    install_signals ();
+    let mon = Fleet.Monitor.create () in
+    let ctl =
+      if pulse.metrics_addr <> None then
+        Resil.Ctl.observer ~run_id ~solver:solver_name ()
+      else Resil.Ctl.none
+    in
+    (* /progress: the standard frontier document plus a "fleet" member
+       with per-worker liveness, lease churn and quarantine counts *)
+    if pulse.metrics_addr <> None then
+      Pulse.Server.set_progress
+        (Some
+           (fun () ->
+             let base =
+               Pulse.Progress.to_json
+                 {
+                   Pulse.Progress.run_id;
+                   solver = solver_name;
+                   frontier = Resil.Ctl.frontier ctl;
+                   total = Some total;
+                   best = Resil.Ctl.best ctl;
+                   sample_size = Sam.size lam;
+                   fuel_spent = None;
+                   elapsed_ns = None;
+                   fuel_lo = None;
+                   fuel_hi = None;
+                 }
+             in
+             match base with
+             | Obs.Json.Obj kvs ->
+                 Obs.Json.Obj
+                   (kvs @ [ ("fleet", Fleet.Monitor.to_json mon) ])
+             | j -> j));
+    let chunk_size =
+      match fleet.f_chunk with
+      | Some c when c >= 1 -> c
+      | Some c ->
+          Format.eprintf "folearn learn: --fleet-chunk must be >= 1 (got %d)@."
+            c;
+          exit 2
+      | None ->
+          let by_workers = max 1 (total / (8 * max 1 fleet.f_workers)) in
+          let min_for_cap = (total + 4095) / 4096 in
+          max by_workers min_for_cap
+    in
+    Unix.putenv "FOLEARN_FLEET_PARENT" (string_of_int (Unix.getpid ()));
+    let spawn i =
+      Unix.create_process Sys.executable_name
+        (Array.append Sys.argv
+           [| "--worker"; "--fleet-worker-id"; "w" ^ string_of_int i |])
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    let cfg =
+      {
+        Fleet.c_dir = dir;
+        c_run_id = run_id;
+        c_solver = solver_name;
+        c_total = total;
+        c_chunk_size = chunk_size;
+        c_heartbeat_s = fleet.f_heartbeat;
+        c_max_attempts = fleet.f_max_attempts;
+        c_sample_size = Sam.size lam;
+        c_workers = fleet.f_workers;
+        c_spawn = spawn;
+        c_backoff_base_s = Fleet.default_backoff_base_s;
+        c_backoff_cap_s = Fleet.default_backoff_cap_s;
+      }
+    in
+    match Fleet.coordinate ~monitor:mon ~ctl cfg with
+    | Error msg ->
+        Format.eprintf "folearn learn: --fleet: %s@." msg;
+        2
+    | Ok out ->
+        (* the winning hypothesis is recovered by re-evaluating the
+           lex-min index with a fresh context — the same mechanism a
+           full-skip checkpoint resume uses, so the output bytes match
+           the sequential run *)
+        let print_winner ~params_tried =
+          (match solver with
+          | `Brute ->
+              Format.printf
+                "solver: Prop 11 exact ERM (tried %d parameter tuples)@."
+                params_tried
+          | `Counting ->
+              Format.printf
+                "solver: exact counting ERM (FOC, thresholds <= %d; tried %d \
+                 parameter tuples)@."
+                tmax params_tried
+          | _ -> assert false);
+          match out.Fleet.best with
+          | Some (i, _) ->
+              let params = Graph.Tuple.of_index ~n ~k:ell i in
+              let err, hyp =
+                match solver with
+                | `Brute ->
+                    let r =
+                      Folearn.Erm_brute.solve_for_params g ~k ~q ~params lam
+                    in
+                    (r.Folearn.Erm_brute.err, r.Folearn.Erm_brute.hypothesis)
+                | `Counting ->
+                    let r =
+                      Folearn.Erm_counting.solve_for_params g ~k ~q ~tmax
+                        ~params lam
+                    in
+                    ( r.Folearn.Erm_counting.err,
+                      r.Folearn.Erm_counting.hypothesis )
+                | _ -> assert false
+              in
+              Format.printf "training error: %.4f@." err;
+              Format.printf "%a@." Folearn.Hypothesis.pp hyp
+          | None ->
+              Format.printf "training error: %.4f@."
+                (Sam.error_of (fun _ -> false) lam);
+              Format.printf "%a@." Folearn.Hypothesis.pp
+                (Folearn.Hypothesis.constantly g ~k false)
+        in
+        if out.Fleet.interrupted then begin
+          Format.eprintf
+            "folearn learn: interrupted; fleet directory %s holds the \
+             settled frontier (%d of %d candidates)@."
+            dir out.Fleet.settled total;
+          Pulse.Fdr.dump_now ~reason:"interrupted";
+          (match out.Fleet.best with
+          | Some _ ->
+              Format.printf
+                "best-so-far hypothesis (no optimality certificate):@.";
+              print_winner ~params_tried:out.Fleet.settled
+          | None -> Format.eprintf "folearn learn: no hypothesis salvaged@.");
+          exit_degraded
+        end
+        else if out.Fleet.quarantined <> [] then begin
+          Format.eprintf
+            "folearn learn: fleet quarantined %d chunk(s) after repeated \
+             failures:@."
+            (List.length out.Fleet.quarantined);
+          List.iter
+            (fun qc ->
+              Format.eprintf
+                "  chunk %d [%d,%d): %d attempts, last error: %s@."
+                qc.Fleet.q_chunk qc.Fleet.q_lo qc.Fleet.q_hi qc.Fleet.q_attempts
+                qc.Fleet.q_error)
+            out.Fleet.quarantined;
+          match out.Fleet.best with
+          | Some _ ->
+              Format.printf
+                "best-so-far hypothesis (no optimality certificate):@.";
+              print_winner ~params_tried:out.Fleet.settled;
+              exit_degraded
+          | None ->
+              Format.eprintf "folearn learn: no hypothesis salvaged@.";
+              exit_exhausted
+        end
+        else begin
+          print_winner ~params_tried:total;
+          0
+        end
+  in
+  let run g colors target k ell q solver tmax noise m seed fuel timeout
+      max_table max_ball no_precheck jobs fleet_opts ckpt_opts pulse trace
+      stats stats_json =
+    apply_jobs jobs;
+    let precheck = not no_precheck in
+    if fleet_opts.f_worker then
+      run_fleet_worker fleet_opts g colors target k ell q solver tmax noise m
+        seed fuel timeout max_table max_ball
+    else
+      match fleet_opts.f_dir with
+      | Some dir ->
+          with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
+          with_pulse ~cmd:"learn" pulse @@ fun () ->
+          run_fleet_coordinator ~dir fleet_opts ~precheck g colors target k
+            ell q solver tmax noise m seed fuel timeout max_table max_ball
+            ckpt_opts pulse
+      | None ->
+    with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
+    with_pulse ~cmd:"learn" pulse @@ fun () ->
+    let user_budget = budget_of ~fuel ~timeout ~max_table ~max_ball in
+    let budget = budget_for_pulse pulse user_budget in
+    let g, solver_name, run_id, tuples, lam =
+      learn_prep g colors target k ell q solver tmax noise m seed
+    in
+    let budget, ckpt =
+      setup_resilience ~cmd:"learn" ~solver:solver_name ~run_id ~budget
+        ckpt_opts
+    in
+    (* no checkpointing asked for, but a live /progress endpoint wants
+       the settled frontier: track it passively (admission prechecks
+       still see an un-checkpointed run) *)
+    let ckpt =
+      if pulse.metrics_addr <> None && not (Resil.Ctl.active ckpt) then
+        Resil.Ctl.observer ~run_id ~solver:solver_name ()
+      else ckpt
+    in
+    let module Sam = Folearn.Sample in
     Format.printf "training sequence: %d examples (%d positive)@."
       (Sam.size lam)
       (List.length (Sam.positives lam));
@@ -781,7 +1216,7 @@ let learn_cmd =
       const run $ graph_arg $ colors_arg $ target_arg $ k_arg $ ell_arg $ q_arg
       $ solver_arg $ tmax_arg $ noise_arg $ m_arg $ seed_arg $ fuel_arg
       $ timeout_arg $ max_table_arg $ max_ball_arg $ no_precheck_arg
-      $ jobs_arg $ ckpt_term $ pulse_term $ trace_arg $ stats_arg
+      $ jobs_arg $ fleet_term $ ckpt_term $ pulse_term $ trace_arg $ stats_arg
       $ stats_json_arg)
   in
   Cmd.v

@@ -52,6 +52,29 @@ let solve_for_params_ctx ctx g ~k ~q ~params lam =
 let solve_for_params g ~k ~q ~params lam =
   solve_for_params_ctx (Types.make_ctx g) g ~k ~q ~params lam
 
+(* One standalone slice of the candidate sweep, for an out-of-process
+   fleet worker: fresh type context, the same per-candidate tick and
+   counter discipline as the in-process sweep, local (errors, index)
+   lex-min over [lo, hi).  Only the key is returned — the coordinator
+   recovers the winning hypothesis by re-evaluating the best index
+   with {!solve_for_params}, exactly like a checkpoint resume. *)
+let eval_range g ~k ~ell ~q lam ~lo ~hi =
+  check_arity ~k lam;
+  let n = Graph.order g in
+  let ctx = Types.make_ctx g in
+  let best = ref None in
+  for i = lo to hi - 1 do
+    Guard.tick Guard.Solver_loop;
+    Obs.Metric.incr hypotheses_enumerated;
+    Obs.Metric.incr consistency_checks;
+    let params = Graph.Tuple.of_index ~n ~k:ell i in
+    let _, errs = majority_types ctx ~q ~params lam in
+    match !best with
+    | Some (_, best_errs) when best_errs <= errs -> ()
+    | _ -> best := Some (i, errs)
+  done;
+  !best
+
 (* The candidate store shared between the solver body and the salvage
    hook of [solve_budgeted].  [best] carries the candidate's index in
    the enumeration order: the winner is the lexicographic minimum of

@@ -63,3 +63,20 @@ val optimal_error : Graph.t -> k:int -> ell:int -> q:int -> Sample.t -> float
 val solve_for_params :
   Graph.t -> k:int -> q:int -> params:Graph.Tuple.t -> Sample.t -> result
 (** The inner loop: best hypothesis for one fixed parameter tuple. *)
+
+val eval_range :
+  Graph.t ->
+  k:int ->
+  ell:int ->
+  q:int ->
+  Sample.t ->
+  lo:int ->
+  hi:int ->
+  (int * int) option
+(** One standalone slice of the candidate sweep, for an out-of-process
+    fleet worker: the [(index, errors)] lex-min over candidates
+    [\[lo, hi)], computed with a fresh type context and the same
+    per-candidate [Guard] tick and obs-counter discipline as {!solve}.
+    The winning hypothesis is recovered from the returned index with
+    {!solve_for_params} — the same mechanism a checkpoint resume uses,
+    so the assembled result is bit-identical to the sequential run. *)

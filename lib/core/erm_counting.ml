@@ -34,6 +34,39 @@ let majority ctx ~q ~tmax ~params lam =
       if !pos > !neg then (t :: chosen, errs + !neg) else (chosen, errs + !pos))
     votes ([], 0)
 
+(* Fixed-parameter solve and the standalone sweep slice, mirroring
+   [Erm_brute]; both serve the fleet worker/coordinator split. *)
+let solve_for_params g ~k ~q ~tmax ~params lam =
+  check_arity ~k lam;
+  let ctx = C.make_ctx g in
+  let chosen, errs = majority ctx ~q ~tmax ~params lam in
+  let hypothesis =
+    Hypothesis.of_counting_types g ~k ~q ~tmax ~types:chosen ~params
+  in
+  let err =
+    match lam with
+    | [] -> 0.0
+    | _ -> float_of_int errs /. float_of_int (Sample.size lam)
+  in
+  { hypothesis; err; params_tried = 1 }
+
+let eval_range g ~k ~ell ~q ~tmax lam ~lo ~hi =
+  check_arity ~k lam;
+  let n = Graph.order g in
+  let ctx = C.make_ctx g in
+  let best = ref None in
+  for i = lo to hi - 1 do
+    Guard.tick Guard.Solver_loop;
+    Obs.Metric.incr hypotheses_enumerated;
+    Obs.Metric.incr consistency_checks;
+    let params = Graph.Tuple.of_index ~n ~k:ell i in
+    let _, errs = majority ctx ~q ~tmax ~params lam in
+    match !best with
+    | Some (_, best_errs) when best_errs <= errs -> ()
+    | _ -> best := Some (i, errs)
+  done;
+  !best
+
 (* Candidate store shared with the salvage hook; see [Erm_brute] for
    the (errors, index)-lex determinism argument. *)
 type progress = {

@@ -1,0 +1,212 @@
+(** Fault-tolerant multi-process ERM sharding over a shared filesystem
+    (ROADMAP item 5: the distributed-ERM substrate grown out of
+    [Resil]'s durable frontiers and [Par]'s fault isolation).
+
+    One {e coordinator} process owns a per-run fleet directory and N
+    {e worker} processes (spawned children or externally supervised
+    [--worker] claimants) share it:
+
+    {v
+    DIR/meta.json          run identity + sharding parameters
+    DIR/leases/C.lease     live claims      (Lease framing, link(2)-claimed)
+    DIR/fence/C.json       fence token, attempt count, retry not-before
+    DIR/done/C.snap        published results (Resil.Snapshot framing)
+    DIR/fail/C.fF.json     failure reports, named by fence
+    DIR/poison/C.json      quarantined chunks
+    DIR/workers/ID.json    worker registry (pid, for liveness probes)
+    DIR/DONE               completion marker (workers exit on sight)
+    DIR/summary.json       final counters (read by bench e20)
+    v}
+
+    Workers claim chunks by atomically link(2)-ing a lease carrying
+    their id, a heartbeat deadline and the chunk's fence token,
+    evaluate with the [Erm_*] enumerators, and publish the chunk's
+    [(index, errors)] lex-min through the [Resil.Snapshot] format.
+    The coordinator merges published frontiers with the deterministic
+    [(error, index)] lex-min rule, expires leases whose heartbeat
+    deadline passed (the chunk returns to the pool under a bumped
+    fence), retries failed chunks with capped exponential backoff +
+    deterministic jitter, and quarantines chunks that keep failing
+    into the poison list instead of wedging the run.  Every piece of
+    coordinator state is derivable from the directory, so a killed
+    coordinator resumes by pointing a new one at the same [--fleet]
+    directory. *)
+
+module Lease = Lease
+(** Re-export: the lease file protocol (see {!module:Lease}). *)
+
+(** {1 Layout} *)
+
+module Layout : sig
+  val meta : string -> string
+  val lease : string -> int -> string
+  val fence : string -> int -> string
+  val done_file : string -> int -> string
+  val fail_file : string -> int -> fence:int -> string
+  val poison_file : string -> int -> string
+  val worker_reg : string -> string -> string
+  val done_marker : string -> string
+  val summary : string -> string
+
+  val ensure : string -> unit
+  (** Create the directory skeleton (idempotent). *)
+end
+
+(** {1 Run metadata} *)
+
+module Meta : sig
+  type t = {
+    run_id : string;
+    solver : string;
+    total : int;  (** candidate count [n^ℓ] *)
+    chunk_size : int;
+    heartbeat_s : float;
+    max_attempts : int;
+    sample_size : int;
+  }
+
+  val save : dir:string -> t -> unit
+  val load : string -> (t, [ `Not_found | `Corrupt of string ]) result
+end
+
+val nchunks : total:int -> chunk_size:int -> int
+val chunk_range : total:int -> chunk_size:int -> int -> int * int
+(** [chunk_range c] is the candidate interval [\[lo, hi)] of chunk
+    [c]. *)
+
+(** {1 Fence records}
+
+    The fence token is the chunk's claim epoch: bumped on every lease
+    expiry and every processed failure, persisted so a restarted
+    coordinator keeps rejecting publishes from before the bump.
+    [attempts] counts failures (not expiries) toward quarantine and
+    [not_before] is the backoff gate claimants respect.  Exposed so
+    harnesses can pre-seed fence state. *)
+
+module Fence : sig
+  type t = { fence : int; attempts : int; not_before : float }
+
+  val zero : t
+  val load : string -> int -> t
+  (** [load dir chunk]; missing or corrupt records read as [zero]. *)
+
+  val save : string -> int -> t -> unit
+end
+
+(** {1 Publishing}
+
+    What a worker writes when a chunk finishes — exposed for external
+    claimants and for tests exercising the coordinator's stale-fence
+    rejection. *)
+
+val publish_done :
+  dir:string ->
+  meta:Meta.t ->
+  chunk:int ->
+  fence:int ->
+  best:(int * int) option ->
+  unit
+(** Publish the chunk's [(index, errors)] lex-min ([None] for an empty
+    range) as [done/C.snap] under the given fence token. *)
+
+val publish_fail :
+  dir:string ->
+  chunk:int ->
+  fence:int ->
+  worker:string ->
+  deterministic:bool ->
+  message:string ->
+  unit
+(** Publish a failure report as [fail/C.fF.json].  [deterministic]
+    failures count toward quarantine without further retries being
+    useful; transient ones are retried with backoff. *)
+
+(** {1 Chaos injection (test-only failure hooks)} *)
+
+type chaos =
+  | Poison of int  (** chunk always fails deterministically *)
+  | Flaky of int * int
+      (** [Flaky (c, n)]: chunk [c] fails transiently while its fence
+          token is below [n] — i.e. the first [n] claims fail *)
+
+val parse_chaos : string -> (chaos list, string) result
+(** Comma-separated [poison:C] / [flaky:C:N] terms. *)
+
+(** {1 Worker} *)
+
+type worker_cfg = {
+  w_dir : string;
+  w_id : string;
+  w_run_id : string;  (** must match [meta.run_id] *)
+  w_solver : string;
+  w_parent : int option;
+      (** coordinator pid: exit quietly when no longer our parent *)
+  w_chaos : chaos list;
+  w_make_budget : unit -> Guard.Budget.t option;
+      (** fresh per-chunk admission budget (from the CLI flags) *)
+}
+
+val worker :
+  worker_cfg -> eval:(lo:int -> hi:int -> (int * int) option) -> int
+(** Run the claim/evaluate/publish loop until the [DONE] marker
+    appears (or the spawning coordinator dies).  [eval] returns the
+    [(index, errors)] lex-min of the range; it runs under a fresh
+    [Guard] budget per chunk, and a budget trip publishes a
+    deterministic failure report.  Returns the process exit code:
+    0 on a clean drain, 1 on setup errors (missing/mismatched meta). *)
+
+(** {1 Coordinator} *)
+
+module Monitor : sig
+  type t
+  (** Mutex-guarded live view for the [/progress] endpoint: per-worker
+      liveness, lease churn and quarantine counts. *)
+
+  val create : unit -> t
+
+  val to_json : t -> Obs.Json.t
+  (** Safe to call from the exporter domain. *)
+end
+
+type coord_cfg = {
+  c_dir : string;
+  c_run_id : string;
+  c_solver : string;
+  c_total : int;
+  c_chunk_size : int;
+  c_heartbeat_s : float;
+  c_max_attempts : int;
+  c_sample_size : int;
+  c_workers : int;  (** local worker processes to keep alive; 0 = external *)
+  c_spawn : int -> int;  (** spawn worker [i], return its pid *)
+  c_backoff_base_s : float;
+  c_backoff_cap_s : float;
+}
+
+val default_backoff_base_s : float
+val default_backoff_cap_s : float
+
+type quarantined = {
+  q_chunk : int;
+  q_lo : int;
+  q_hi : int;
+  q_attempts : int;
+  q_error : string;
+}
+
+type outcome = {
+  best : (int * int) option;  (** global [(index, errors)] lex-min *)
+  settled : int;  (** candidates covered by accepted chunks *)
+  quarantined : quarantined list;
+  interrupted : bool;  (** [Guard.interrupt] arrived mid-run *)
+  stats : (string * int) list;  (** the summary counters *)
+}
+
+val coordinate :
+  ?monitor:Monitor.t -> ?ctl:Resil.Ctl.t -> coord_cfg -> (outcome, string) result
+(** Run the merge/expiry/retry/respawn loop to completion (every chunk
+    settled or quarantined), writing [summary.json] and the [DONE]
+    marker, and reaping spawned workers on the way out.  [ctl]
+    (typically a [Resil.Ctl.observer]) receives [chunk_done] reports
+    for live frontier export.  [Error] covers unusable directories and
+    meta mismatches (a fleet directory from a different run). *)

@@ -9,6 +9,14 @@
 let progress_sampler : (unit -> Obs.Json.t) option Atomic.t = Atomic.make None
 let set_progress s = Atomic.set progress_sampler s
 
+(* Signal-graceful shutdown: between the operator's SIGTERM and the
+   process exit, /healthz answers 503 so an external supervisor can
+   tell a drain from a crash.  One atomic flag, safe to set from a
+   signal handler. *)
+let draining_flag = Atomic.make false
+let set_draining b = Atomic.set draining_flag b
+let draining () = Atomic.get draining_flag
+
 type t = {
   fd : Unix.file_descr;
   bound : Addr.t;
@@ -24,18 +32,23 @@ let http_response ?(status = "200 OK") ~content_type body =
     status content_type (String.length body) body
 
 let route path =
+  let ok (ct, body) = Some ("200 OK", ct, body) in
   match path with
   | "/metrics" ->
-      Some
+      ok
         ( "text/plain; version=0.0.4; charset=utf-8",
           Prom.render (Obs.Metric.snapshot ()) )
   | "/metrics.json" ->
-      Some
+      ok
         ( "application/json",
           Obs.Json.to_string
             (Obs.Metric.snapshot_to_json (Obs.Metric.snapshot ()))
           ^ "\n" )
-  | "/healthz" -> Some ("text/plain; charset=utf-8", "ok\n")
+  | "/healthz" ->
+      if draining () then
+        Some
+          ("503 Service Unavailable", "text/plain; charset=utf-8", "draining\n")
+      else ok ("text/plain; charset=utf-8", "ok\n")
   | "/progress" ->
       let j =
         match Atomic.get progress_sampler with
@@ -46,7 +59,7 @@ let route path =
               Obs.Json.Obj
                 [ ("error", Obs.Json.String (Printexc.to_string e)) ])
       in
-      Some ("application/json", Obs.Json.to_string j ^ "\n")
+      ok ("application/json", Obs.Json.to_string j ^ "\n")
   | _ -> None
 
 (* read until the end of the request head, a hard cap, or EOF *)
@@ -113,7 +126,8 @@ let serve_conn conn =
               ~content_type:"text/plain" "bad request\n"
         | Some path -> (
             match route path with
-            | Some (content_type, body) -> http_response ~content_type body
+            | Some (status, content_type, body) ->
+                http_response ~status ~content_type body
             | None ->
                 http_response ~status:"404 Not Found"
                   ~content_type:"text/plain" "not found\n")

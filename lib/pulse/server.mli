@@ -7,7 +7,8 @@
       live {!Obs.Metric.snapshot};
     - [/metrics.json] — the same snapshot in the existing obs JSON
       schema ([Obs.Metric.snapshot_to_json]);
-    - [/healthz] — ["ok"];
+    - [/healthz] — ["ok"], or [503 draining] once {!set_draining} has
+      been called (signal-graceful shutdown in progress);
     - [/progress] — the registered {!set_progress} sampler's JSON
       (see {!Progress}), or [{}] when none is installed.
 
@@ -35,3 +36,15 @@ val set_progress : (unit -> Obs.Json.t) option -> unit
     closure over the live run's [Resil.Ctl], Guard budget and
     [Analysis.Plan] envelope; sampler exceptions are reported in-band
     as [{"error": ...}]. *)
+
+val set_draining : bool -> unit
+(** Flip the process-wide draining flag (one atomic store —
+    async-signal-safe, the CLI's SIGINT/SIGTERM handler calls it).
+    While set, [/healthz] answers [503 Service Unavailable] with body
+    ["draining"] instead of ["ok"], so an external supervisor
+    distinguishes a graceful drain from a crash; every other route
+    keeps serving normally until {!stop}. *)
+
+val draining : unit -> bool
+(** Read the draining flag back (used by the CLI to hold the exporter
+    open for a configurable grace period on shutdown). *)

@@ -247,6 +247,28 @@ module Snapshot = struct
             Obs.Metric.incr snapshot_loads;
             Ok s
         | Error e -> Error (`Corrupt e))
+
+  type mismatch = { field : string; expected : string; found : string }
+
+  let pp_mismatch ppf m =
+    Format.fprintf ppf "snapshot %s mismatch: expected %s, found %s" m.field
+      m.expected m.found
+
+  (* Identity-checked load: resuming a snapshot written for a different
+     run or by a different solver would silently replay-skip the wrong
+     candidates, so the caller gets the exact field that disagrees
+     instead of a generic failure string. *)
+  let load_for ~run_id ~solver path =
+    match load path with
+    | Error (`Not_found | `Corrupt _) as e -> e
+    | Ok s ->
+        if s.run_id <> run_id then
+          Error
+            (`Mismatch { field = "run id"; expected = run_id; found = s.run_id })
+        else if s.solver <> solver then
+          Error
+            (`Mismatch { field = "solver"; expected = solver; found = s.solver })
+        else Ok s
 end
 
 module Ctl = struct

@@ -79,6 +79,24 @@ module Snapshot : sig
   val load : string -> (t, [ `Not_found | `Corrupt of string ]) result
   (** [`Not_found] when the file does not exist (a fresh run);
       [`Corrupt] carries the decode error. *)
+
+  type mismatch = { field : string; expected : string; found : string }
+  (** Which identity field of a loaded snapshot disagreed with the
+      caller's run: [field] is ["run id"] or ["solver"]. *)
+
+  val pp_mismatch : Format.formatter -> mismatch -> unit
+
+  val load_for :
+    run_id:string ->
+    solver:string ->
+    string ->
+    (t, [ `Not_found | `Corrupt of string | `Mismatch of mismatch ]) result
+  (** {!load} plus an identity check: a snapshot whose [run_id] or
+      [solver] differs from the caller's yields [`Mismatch] naming the
+      disagreeing field with both values — resuming it would silently
+      replay-skip the wrong candidates.  Used by the CLI's [--resume]
+      and by the fleet coordinator when validating published chunk
+      results. *)
 end
 
 (** A per-run checkpoint controller, threaded through the [Erm_*]

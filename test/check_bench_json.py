@@ -25,6 +25,17 @@ HEADLINE = {
 }
 METRIC_SECTIONS = ("counters", "gauges", "histograms")
 
+# experiment-specific headline keys (spliced in by bench/main.ml's
+# bench_extra_headline): e20 reports its fleet counters at the top
+# level so this gate can require them
+EXTRA_HEADLINE = {
+    "e20": {
+        "workers": int,
+        "leases_expired": int,
+        "chunks_quarantined": int,
+    },
+}
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_json: {msg}", file=sys.stderr)
@@ -52,6 +63,14 @@ def check(path: str) -> None:
             fail(f"{path}: missing key {key!r}")
         if not isinstance(doc[key], ty):
             fail(f"{path}: key {key!r} has type {type(doc[key]).__name__}")
+    for key, ty in EXTRA_HEADLINE.get(doc.get("experiment"), {}).items():
+        if key not in doc:
+            fail(f"{path}: missing headline key {key!r} "
+                 f"(required for {doc['experiment']})")
+        if not isinstance(doc[key], ty):
+            fail(f"{path}: key {key!r} has type {type(doc[key]).__name__}")
+        if doc[key] < 0:
+            fail(f"{path}: negative {key}")
     if doc["schema_version"] != 1:
         fail(f"{path}: unknown schema_version {doc['schema_version']}")
     if doc["wall_time_s"] < 0:

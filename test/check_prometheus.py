@@ -2,6 +2,7 @@
 """Validate a Prometheus text-exposition scrape from the live exporter.
 
 Usage: check_prometheus.py METRICS_FILE [--against STATS_JSON]
+       check_prometheus.py --healthz RAW_RESPONSE_FILE [--expect-draining]
 
 Checks the exposition shape (version 0.0.4): every sample line parses
 as `name[{labels}] value`, every sample family is announced by a
@@ -15,6 +16,13 @@ the scrape was taken mid-run, so monotone counters can only be lower
 or equal. Counters register lazily on first use, so ones that only
 came alive after the scrape are tolerated (but at least one counter
 must cross-check, to catch scraping the wrong run entirely).
+
+With --healthz, the file is a RAW HTTP response captured from the
+exporter's /healthz route (e.g. `curl -isS .../healthz`).  A healthy
+server must answer `200 OK` with body `ok`; with --expect-draining the
+server was caught between SIGTERM and exit, and must answer
+`503 Service Unavailable` with a body naming the drain — that is how
+an external supervisor tells a graceful shutdown from a crash.
 """
 import argparse
 import json
@@ -87,14 +95,59 @@ def parse(path):
     return types, samples
 
 
+def check_healthz(path, expect_draining):
+    with open(path, "rb") as fh:
+        raw = fh.read().decode("utf-8", errors="replace")
+    head, sep, body = raw.partition("\r\n\r\n")
+    if not sep:
+        head, sep, body = raw.partition("\n\n")
+    if not sep:
+        fail(f"{path}: no header/body separator in raw response")
+    status_line = head.splitlines()[0].strip()
+    parts = status_line.split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        fail(f"{path}: malformed status line {status_line!r}")
+    code = parts[1]
+    if expect_draining:
+        if code != "503":
+            fail(f"{path}: draining server answered {status_line!r}, "
+                 "want 503 Service Unavailable")
+        if "draining" not in body:
+            fail(f"{path}: 503 body {body!r} does not name the drain")
+        print("check_prometheus: ok (healthz draining: 503 with reason)")
+    else:
+        if code != "200":
+            fail(f"{path}: healthy server answered {status_line!r}, want 200")
+        if body.strip() != "ok":
+            fail(f"{path}: healthz body {body!r}, want 'ok'")
+        print("check_prometheus: ok (healthz: 200 ok)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("metrics")
+    ap.add_argument("metrics", nargs="?")
     ap.add_argument(
         "--against", metavar="STATS_JSON",
         help="a --stats-json snapshot from the same run; counters present "
              "in both must satisfy 0 <= scraped <= final")
+    ap.add_argument(
+        "--healthz", metavar="RAW_RESPONSE_FILE",
+        help="validate a raw HTTP response captured from /healthz instead "
+             "of a metrics scrape")
+    ap.add_argument(
+        "--expect-draining", action="store_true",
+        help="with --healthz: require 503 + a body naming the drain")
     args = ap.parse_args()
+
+    if args.healthz:
+        if args.metrics or args.against:
+            fail("--healthz takes only the raw response file")
+        check_healthz(args.healthz, args.expect_draining)
+        return
+    if args.expect_draining:
+        fail("--expect-draining requires --healthz")
+    if not args.metrics:
+        fail("either METRICS_FILE or --healthz is required")
 
     types, samples = parse(args.metrics)
 

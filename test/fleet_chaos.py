@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Chaos harness for folearn's fleet mode (multi-process ERM sharding).
+
+Asserts the robustness contract of `learn --fleet`:
+
+  1. clean     -- a fleet run's stdout is byte-identical to the
+                  sequential solver's, exit code 0;
+  2. workers   -- SIGKILLing random workers mid-run never changes the
+                  output: the coordinator respawns them, expires their
+                  leases, and the run completes byte-identical.  While
+                  the run is live, no lease may be held by a dead
+                  process for longer than the heartbeat timeout (plus
+                  scheduling slack);
+  3. coord     -- SIGKILLing the coordinator and re-running the same
+                  command resumes from the fleet directory and the
+                  completing run's stdout is byte-identical;
+  4. poison    -- a deterministically failing chunk is quarantined
+                  after max-attempts: exit 3, a quarantine report on
+                  stderr, a best-so-far hypothesis on stdout;
+  5. flaky     -- a transiently failing chunk is retried with backoff
+                  and the run completes byte-identical, exit 0.
+
+CI runs this at --workers 1 and --workers 4.  No third-party deps.
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+WORKLOAD = [
+    "learn", "-g", "cycle:30", "--color", "Red=0,3,6,9",
+    "-t", "exists y. (E(x1,y) & Red(y))",
+    "-k", "1", "-l", "1", "-q", "2", "--solver", "brute",
+]
+
+HEARTBEAT = 0.5
+MAX_CYCLES = 12
+
+
+def fail(msg):
+    print(f"fleet_chaos: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fleet_args(fleet_dir, workers, extra=()):
+    return WORKLOAD + [
+        "--fleet", fleet_dir, "--workers", str(workers),
+        "--fleet-heartbeat", str(HEARTBEAT), "--fleet-chunk", "1",
+    ] + list(extra)
+
+
+def run(cmd, timeout=120):
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=timeout
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+
+
+def read_lease(path):
+    """Parse a FOLEARNLEASE1 file; None if it vanished mid-read."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return None
+    header, _, body = raw.partition(b"\n")
+    fields = header.split()
+    if len(fields) != 3 or fields[0] != b"FOLEARNLEASE1":
+        return None  # torn read of an atomic rename; next poll sees it whole
+    try:
+        return json.loads(body[: int(fields[2])])
+    except (ValueError, KeyError):
+        return None
+
+
+def worker_pids(fleet_dir):
+    pids = []
+    wdir = os.path.join(fleet_dir, "workers")
+    if not os.path.isdir(wdir):
+        return pids
+    for name in os.listdir(wdir):
+        try:
+            with open(os.path.join(wdir, name)) as fh:
+                reg = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        pid = reg.get("pid")
+        if isinstance(pid, int) and pid_alive(pid):
+            pids.append(pid)
+    return pids
+
+
+def check_lease_invariant(fleet_dir, grace):
+    """No lease held by a dead process longer than the heartbeat."""
+    ldir = os.path.join(fleet_dir, "leases")
+    if not os.path.isdir(ldir):
+        return
+    now = time.time()
+    for name in os.listdir(ldir):
+        if not name.endswith(".lease"):
+            continue
+        lease = read_lease(os.path.join(ldir, name))
+        if lease is None:
+            continue
+        pid = lease.get("pid")
+        deadline = lease.get("deadline", now)
+        if isinstance(pid, int) and pid > 0 and not pid_alive(pid):
+            overdue = now - deadline
+            if overdue > grace:
+                fail(
+                    f"lease {name} held by dead pid {pid} "
+                    f"{overdue:.2f}s past its deadline (grace {grace:.2f}s)"
+                )
+
+
+def summary_of(fleet_dir):
+    with open(os.path.join(fleet_dir, "summary.json")) as fh:
+        return json.load(fh)
+
+
+def reference(binary):
+    code, out, err = run([binary] + WORKLOAD)
+    if code != 0:
+        fail(f"sequential reference exited {code}: {err.decode()}")
+    return out
+
+
+def scenario_clean(binary, workers, ref, tmpdir):
+    fleet_dir = os.path.join(tmpdir, "clean")
+    code, out, err = run([binary] + fleet_args(fleet_dir, workers))
+    if code != 0:
+        fail(f"clean: exited {code}: {err.decode()}")
+    if out != ref:
+        fail(
+            f"clean: fleet stdout differs from sequential\n"
+            f"--- sequential ---\n{ref.decode()}\n"
+            f"--- fleet ---\n{out.decode()}"
+        )
+    s = summary_of(fleet_dir)
+    if s["settled"] != s["total"]:
+        fail(f"clean: settled {s['settled']} != total {s['total']}")
+    print(f"  clean: OK (workers {workers}, {s['chunks']} chunks)")
+
+
+def scenario_kill_workers(binary, workers, ref, rng, tmpdir):
+    fleet_dir = os.path.join(tmpdir, "killw")
+    # file-backed stdout: the winning hypothesis can outgrow a pipe
+    # buffer, and this loop polls instead of draining
+    out_path = os.path.join(tmpdir, "killw.out")
+    err_path = os.path.join(tmpdir, "killw.err")
+    with open(out_path, "wb") as out_fh, open(err_path, "wb") as err_fh:
+        proc = subprocess.Popen(
+            [binary] + fleet_args(fleet_dir, workers),
+            stdout=out_fh, stderr=err_fh,
+        )
+        kills = 0
+        grace = 3.0 * HEARTBEAT  # deadline + coordinator poll + slack
+        deadline = time.monotonic() + 120
+        while proc.poll() is None:
+            if time.monotonic() > deadline:
+                proc.kill()
+                fail("workers: run did not finish within 120s")
+            check_lease_invariant(fleet_dir, grace)
+            pids = worker_pids(fleet_dir)
+            if pids and rng.random() < 0.4:
+                victim = rng.choice(pids)
+                try:
+                    os.kill(victim, signal.SIGKILL)
+                    kills += 1
+                except ProcessLookupError:
+                    pass
+            time.sleep(rng.uniform(0.05, 0.25))
+    with open(out_path, "rb") as fh:
+        out = fh.read()
+    with open(err_path, "rb") as fh:
+        err = fh.read()
+    if proc.returncode != 0:
+        fail(f"workers: exited {proc.returncode}: {err.decode()}")
+    if out != ref:
+        fail("workers: stdout differs from sequential after worker kills")
+    s = summary_of(fleet_dir)
+    print(
+        f"  workers: OK after {kills} SIGKILLs "
+        f"(respawned {s['workers_respawned']}, "
+        f"leases expired {s['leases_expired']})"
+    )
+
+
+def scenario_kill_coordinator(binary, workers, ref, rng, tmpdir):
+    fleet_dir = os.path.join(tmpdir, "killc")
+    cmd = [binary] + fleet_args(fleet_dir, workers)
+    kills = 0
+    for cycle in range(MAX_CYCLES):
+        last = cycle == MAX_CYCLES - 1
+        delay = rng.uniform(0.1, 1.2)
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE
+        )
+        try:
+            out, err = proc.communicate(timeout=None if last else delay)
+        except subprocess.TimeoutExpired:
+            proc.kill()  # SIGKILL: no DONE marker, orphaned workers
+            proc.communicate()
+            kills += 1
+            # orphaned workers must drain by themselves (they poll
+            # getppid); give them a beat, then verify
+            t0 = time.monotonic()
+            while worker_pids(fleet_dir) and time.monotonic() - t0 < 10:
+                time.sleep(0.1)
+            if worker_pids(fleet_dir):
+                fail("coord: workers survived their coordinator by >10s")
+            continue
+        if proc.returncode != 0:
+            fail(f"coord: resumed run exited {proc.returncode}: {err.decode()}")
+        if out != ref:
+            fail(
+                f"coord: resumed stdout differs from sequential\n"
+                f"--- sequential ---\n{ref.decode()}\n"
+                f"--- resumed ---\n{out.decode()}"
+            )
+        print(f"  coord: OK after {kills} coordinator SIGKILLs")
+        return
+    fail(f"coord: no run completed within {MAX_CYCLES} cycles")
+
+
+def scenario_poison(binary, workers, tmpdir):
+    fleet_dir = os.path.join(tmpdir, "poison")
+    code, out, err = run(
+        [binary] + fleet_args(fleet_dir, workers, ["--fleet-chaos", "poison:5"])
+    )
+    if code != 3:
+        fail(f"poison: expected exit 3, got {code}: {err.decode()}")
+    if b"quarantined" not in err:
+        fail(f"poison: no quarantine report on stderr: {err.decode()}")
+    if b"chunk 5" not in err:
+        fail(f"poison: report does not name the poisoned chunk: {err.decode()}")
+    if b"best-so-far hypothesis" not in out:
+        fail("poison: no best-so-far hypothesis on stdout")
+    s = summary_of(fleet_dir)
+    if s["chunks_quarantined"] != 1:
+        fail(f"poison: summary says {s['chunks_quarantined']} quarantined")
+    if not os.path.exists(os.path.join(fleet_dir, "poison", "000005.json")):
+        fail("poison: no poison file for chunk 5")
+    print(f"  poison: OK (exit 3, quarantined after {s['failures_retried'] + 1} attempts)")
+
+
+def scenario_flaky(binary, workers, ref, tmpdir):
+    fleet_dir = os.path.join(tmpdir, "flaky")
+    code, out, err = run(
+        [binary] + fleet_args(fleet_dir, workers, ["--fleet-chaos", "flaky:3:2"])
+    )
+    if code != 0:
+        fail(f"flaky: exited {code}: {err.decode()}")
+    if out != ref:
+        fail("flaky: stdout differs from sequential")
+    s = summary_of(fleet_dir)
+    if s["failures_retried"] < 2:
+        fail(f"flaky: expected >= 2 retries, summary says {s['failures_retried']}")
+    if s["chunks_quarantined"] != 0:
+        fail("flaky: transient failures must not quarantine")
+    print(f"  flaky: OK (retried {s['failures_retried']}, exit 0)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", default="_build/default/bin/folearn_cli.exe")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument(
+        "--scenarios", default="clean,workers,coord,poison,flaky",
+        help="comma-separated subset",
+    )
+    args = ap.parse_args()
+
+    if not os.path.exists(args.binary):
+        fail(f"binary not found: {args.binary} (run `dune build` first)")
+    rng = random.Random(args.seed)
+    wanted = args.scenarios.split(",")
+    print(f"fleet_chaos: workers={args.workers} seed={args.seed}")
+
+    tmpdir = tempfile.mkdtemp(prefix="folearn_fleet_chaos")
+    try:
+        ref = reference(args.binary)
+        if "clean" in wanted:
+            scenario_clean(args.binary, args.workers, ref, tmpdir)
+        if "workers" in wanted and args.workers > 0:
+            scenario_kill_workers(args.binary, args.workers, ref, rng, tmpdir)
+        if "coord" in wanted:
+            scenario_kill_coordinator(args.binary, args.workers, ref, rng, tmpdir)
+        if "poison" in wanted:
+            scenario_poison(args.binary, args.workers, tmpdir)
+        if "flaky" in wanted:
+            scenario_flaky(args.binary, args.workers, ref, tmpdir)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    print("fleet_chaos: all scenarios passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,4 +25,5 @@ let () =
       ("par", Test_par.suite);
       ("resil", Test_resil.suite);
       ("pulse", Test_pulse.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -298,6 +298,39 @@ let test_server_end_to_end () =
               | Ok _ -> Alcotest.fail "unknown route must 404"
               | Error _ -> ()))
 
+(* during signal-graceful shutdown /healthz must answer 503 draining,
+   so load balancers and scrape loops stop routing to a run that is
+   flushing its last snapshot; the other endpoints keep answering *)
+let test_healthz_draining () =
+  match Pulse.Server.start (Pulse.Addr.Tcp ("127.0.0.1", 0)) with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok srv ->
+      Fun.protect
+        ~finally:(fun () ->
+          Pulse.Server.set_draining false;
+          Pulse.Server.stop srv)
+        (fun () ->
+          let addr = Pulse.Server.bound_addr srv in
+          (match Pulse.Client.get addr "/healthz" with
+          | Ok body -> check_str "healthy before drain" "ok\n" body
+          | Error m -> Alcotest.failf "/healthz: %s" m);
+          Pulse.Server.set_draining true;
+          check "flag readable" true (Pulse.Server.draining ());
+          (match Pulse.Client.get addr "/healthz" with
+          | Ok body -> Alcotest.failf "draining must not be 200 (got %S)" body
+          | Error m ->
+              check "503 status" true (contains ~needle:"503" m);
+              check "draining body" true (contains ~needle:"draining" m));
+          (* only health flips; scrapers can still collect the final
+             metrics during the grace period *)
+          (match Pulse.Client.get addr "/metrics" with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "/metrics during drain: %s" m);
+          Pulse.Server.set_draining false;
+          match Pulse.Client.get addr "/healthz" with
+          | Ok body -> check_str "drain is reversible" "ok\n" body
+          | Error m -> Alcotest.failf "/healthz after undrain: %s" m)
+
 (* a sampler that raises must degrade to an in-band error, never take
    the exporter (or the run) down *)
 let test_progress_sampler_exception () =
@@ -330,6 +363,8 @@ let suite =
     Alcotest.test_case "address parsing" `Quick test_addr_parse;
     Alcotest.test_case "progress JSON fractions" `Quick test_progress_json;
     Alcotest.test_case "exporter end to end" `Quick test_server_end_to_end;
+    Alcotest.test_case "healthz answers 503 while draining" `Quick
+      test_healthz_draining;
     Alcotest.test_case "sampler exception stays in-band" `Quick
       test_progress_sampler_exception;
   ]

@@ -131,6 +131,41 @@ let save_load_roundtrip () =
   | Ok _ | Error (`Corrupt _) ->
       Alcotest.fail "missing file must load as `Not_found")
 
+let astr_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* [load_for] layers identity checks over [load]: a snapshot from a
+   different run or solver is a structured [`Mismatch] naming the
+   field with both values (the CLI renders it with a fresh-checkpoint
+   hint), never a silent replay-skip of the wrong candidates. *)
+let load_for_mismatch () =
+  let path = Filename.temp_file "folearn_resil" ".snap" in
+  Snap.save ~path sample_snapshot;
+  (match Snap.load_for ~run_id:"cafe01" ~solver:"brute" path with
+  | Ok s -> check "matching identity loads" true (s = sample_snapshot)
+  | Error _ -> Alcotest.fail "matching identity must load");
+  (match Snap.load_for ~run_id:"deadbf" ~solver:"brute" path with
+  | Error (`Mismatch m) ->
+      check "field names the run id" true (m.Snap.field = "run id");
+      check "expected side" true (m.Snap.expected = "deadbf");
+      check "found side" true (m.Snap.found = "cafe01");
+      let rendered = Format.asprintf "%a" Snap.pp_mismatch m in
+      check "rendering names both ids" true
+        (String.length rendered > 0
+        && astr_contains rendered "deadbf"
+        && astr_contains rendered "cafe01")
+  | Ok _ | Error (`Not_found | `Corrupt _) ->
+      Alcotest.fail "wrong run id must be `Mismatch");
+  (match Snap.load_for ~run_id:"cafe01" ~solver:"counting" path with
+  | Error (`Mismatch m) -> check "solver mismatch" true (m.Snap.field = "solver")
+  | _ -> Alcotest.fail "wrong solver must be `Mismatch");
+  Sys.remove path;
+  match Snap.load_for ~run_id:"cafe01" ~solver:"brute" path with
+  | Error `Not_found -> ()
+  | _ -> Alcotest.fail "missing file stays `Not_found through load_for"
+
 let atomic_write_replaces () =
   let path = Filename.temp_file "folearn_resil" ".txt" in
   Resil.atomic_write ~path "first";
@@ -294,6 +329,8 @@ let suite =
     Alcotest.test_case "corrupt snapshots rejected" `Quick corruption_rejected;
     Alcotest.test_case "save/load round-trip and `Not_found" `Quick
       save_load_roundtrip;
+    Alcotest.test_case "load_for flags run/solver mismatch" `Quick
+      load_for_mismatch;
     Alcotest.test_case "atomic_write replaces whole files" `Quick
       atomic_write_replaces;
     Alcotest.test_case "frontier absorbs out-of-order chunks" `Quick
