@@ -18,9 +18,14 @@ Design choices, so the gate stays useful in CI:
 - a counter present in the baseline must exist in the current run
   (deleting instrumentation silently is a regression); counters that
   are new in the current run are allowed (instrumentation grows).
+- --skip-counters REGEX exempts scheduling-dependent counters (cache
+  hit/miss splits, intern shard merges, per-worker task tallies) whose
+  values legitimately vary with the core count or chunking even though
+  the solver output is byte-identical.
 """
 import argparse
 import json
+import re
 import sys
 
 HEADLINE_COUNTERS = (
@@ -59,7 +64,13 @@ def main():
         "--time-tol", type=float, default=None,
         help="also gate wall_time_s within this relative tolerance "
              "(default: timings are not compared)")
+    ap.add_argument(
+        "--skip-counters", metavar="REGEX", default=None,
+        help="exclude metric counters matching this regex (re.search) "
+             "from the comparison; use for scheduling-dependent "
+             "counters that vary with core count or chunking")
     args = ap.parse_args()
+    skip_re = re.compile(args.skip_counters) if args.skip_counters else None
 
     base = load(args.baseline)
     cur = load(args.current)
@@ -87,8 +98,11 @@ def main():
 
     base_counters = base.get("metrics", {}).get("counters", {})
     cur_counters = cur.get("metrics", {}).get("counters", {})
+    skipped = 0
     for name in sorted(base_counters):
-        if name not in cur_counters:
+        if skip_re is not None and skip_re.search(name):
+            skipped += 1
+        elif name not in cur_counters:
             problems.append(f"counter {name}: missing from current run")
         else:
             check(f"counter {name}", base_counters[name], cur_counters[name],
@@ -112,8 +126,9 @@ def main():
         sys.exit(1)
     new = sorted(set(cur_counters) - set(base_counters))
     extra = f", {len(new)} new counter(s)" if new else ""
-    print(f"compare: {exp}: ok ({len(base_counters)} counters matched"
-          f"{extra})")
+    skipnote = f", {skipped} skipped" if skipped else ""
+    print(f"compare: {exp}: ok ({len(base_counters) - skipped} counters "
+          f"matched{skipnote}{extra})")
 
 
 if __name__ == "__main__":

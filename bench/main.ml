@@ -975,6 +975,17 @@ let micro () =
       Test.make ~name:"eval-rank1"
         (Staged.stage (fun () ->
              Modelcheck.Eval.holds_tuple g ~vars:[ "x1" ] [| 31 |] phi));
+      (let compiled = Modelcheck.Compile.compile g ~vars:[ "x1" ] phi in
+       Test.make ~name:"eval-rank1-compiled"
+         (Staged.stage (fun () ->
+              Modelcheck.Compile.holds_tuple compiled [| 31 |])));
+      Test.make ~name:"csr-neighbor-scan"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             for v = 0 to Graph.order g - 1 do
+               Graph.iter_neighbors g v (fun w -> acc := !acc + w)
+             done;
+             !acc));
       Test.make ~name:"tp-q1-cold"
         (Staged.stage (fun () -> T.tp (T.make_ctx g) ~q:1 [| 31 |]));
       Test.make ~name:"ltp-q1-r2-memo"
@@ -1541,6 +1552,9 @@ let e20 () =
                      budget: the slot is process-global and the bench
                      driver already holds it *)
                   w_make_budget = (fun () -> None);
+                  (* likewise no intern reset: the registries are
+                     process-global and shared with sibling workers *)
+                  w_reclaim = (fun () -> ());
                 }
                 ~eval))
     in
@@ -1635,6 +1649,139 @@ let e20 () =
        expired; poisoned chunk quarantined.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E21: hot-path engine - compiled eval, CSR adjacency, sharded intern *)
+(* ------------------------------------------------------------------ *)
+
+let e21 () =
+  header
+    "E21  hot-path engine: compiled evaluation, CSR adjacency, sharded \
+     interning";
+  let cores = Domain.recommended_domain_count () in
+  let compile_hits_c = Obs.Metric.counter "modelcheck.compile.cache_hits" in
+  let ty_merges_c = Obs.Metric.counter "modelcheck.types.shard_merges" in
+  let cty_merges_c = Obs.Metric.counter "modelcheck.ctypes.shard_merges" in
+  (* --- A: all four solvers once, sequentially.  The signature rows
+     record the exact hypotheses; the deterministic work counters land
+     in the metric snapshot for bench/compare.py. *)
+  let g = Gen.gnp ~seed:21 ~n:32 ~p:0.15 in
+  (* the realizable solver's convention: free variables x, y1 *)
+  let target = Fo.Parser.parse "exists z. E(x, z) /\\ E(z, y1)" in
+  let lam =
+    Sam.label_with g
+      ~target:(fun v ->
+        Modelcheck.Eval.holds g [ ("x", v.(0)); ("y1", 5) ] target)
+      (Sam.all_tuples g ~k:1)
+  in
+  row "%-12s %8s  %s\n" "solver" "err" "hypothesis";
+  let emit solver err hyp =
+    let s = Folearn.Hypothesis.signature hyp in
+    add_row [ ("solver", jstr solver); ("err", jfloat err); ("sig", jstr s) ];
+    row "%-12s %8.4f  %s\n" solver err
+      (if String.length s > 48 then String.sub s 0 48 ^ "..." else s)
+  in
+  let brute = Brute.solve g ~k:1 ~ell:1 ~q:2 lam in
+  emit "brute" brute.Brute.err brute.Brute.hypothesis;
+  (match Real.solve g ~ell:1 ~catalogue:[ target ] lam with
+  | Some r -> emit "realizable" 0.0 r.Real.hypothesis
+  | None -> row "%-12s (reject)\n" "realizable");
+  let counting = Folearn.Erm_counting.solve g ~k:1 ~ell:1 ~q:1 ~tmax:2 lam in
+  emit "counting" counting.Folearn.Erm_counting.err
+    counting.Folearn.Erm_counting.hypothesis;
+  let nd_cfg =
+    Nd.default_config ~epsilon:0.125 ~radius:1 ~branch_width:8 ~k:1
+      ~ell_star:1 ~q_star:1
+      (Splitter.Nowhere_dense.of_graph "e21" g)
+  in
+  let nd = Nd.solve nd_cfg g lam in
+  emit "nd" nd.Nd.err nd.Nd.hypothesis;
+  (* --- A2: the compiled-evaluation hot path itself.  One staged
+     compile, then every 2-tuple through the closure tree; all calls
+     after the first hit the per-domain compile cache. *)
+  let n = Graph.order g in
+  let (pos, evals), t_eval =
+    time (fun () ->
+        let pos = ref 0 and evals = ref 0 in
+        for a = 0 to n - 1 do
+          for b = 0 to n - 1 do
+            incr evals;
+            if
+              Modelcheck.Eval.holds_tuple g ~vars:[ "x"; "y1" ] [| a; b |]
+                target
+            then incr pos
+          done
+        done;
+        (!pos, !evals))
+  in
+  add_row
+    [
+      ("workload", jstr "compiled_eval_sweep");
+      ("evals", jint evals);
+      ("positives", jint pos);
+      ("time_s", jfloat t_eval);
+    ];
+  row "compiled eval sweep: %d evaluations, %d positive, %.3f s\n" evals pos
+    t_eval;
+  (* --- B: the erm_brute jobs sweep.  jobs = 1 first (the reference);
+     every later level must reproduce the hypothesis bit for bit, and
+     on a multi-core host the 4-job level carries the CI speedup
+     gate. *)
+  let g_sweep = Gen.gnp ~seed:22 ~n:44 ~p:0.12 in
+  let lam_sweep =
+    Sam.label_with g_sweep
+      ~target:(fun v -> Bfs.dist g_sweep v.(0) 22 <= 2)
+      (Sam.all_tuples g_sweep ~k:1)
+  in
+  row "%-10s %5s %10s %9s %10s %9s\n" "workload" "jobs" "time (s)" "speedup"
+    "err" "match";
+  let baseline = ref None in
+  let speedup4 = ref 1.0 in
+  let all_identical = ref true in
+  List.iter
+    (fun jobs ->
+      let pool = Par.Pool.create ~jobs in
+      let erm, t =
+        time (fun () -> Brute.solve ~pool g_sweep ~k:1 ~ell:1 ~q:2 lam_sweep)
+      in
+      Par.Pool.shutdown pool;
+      let here =
+        (Folearn.Hypothesis.signature erm.Brute.hypothesis, erm.Brute.err)
+      in
+      let t1, agree =
+        match !baseline with
+        | None ->
+            baseline := Some (t, here);
+            (t, true)
+        | Some (t1, first) -> (t1, first = here)
+      in
+      if not agree then all_identical := false;
+      if jobs = 4 then speedup4 := t1 /. t;
+      add_row
+        [
+          ("workload", jstr "erm_brute");
+          ("jobs", jint jobs);
+          ("time_s", jfloat t);
+          ("speedup", jfloat (t1 /. t));
+          ("identical", Obs.Json.Bool agree);
+        ];
+      row "%-10s %5d %10.3f %9.2f %10.3f %9b\n" "erm_brute" jobs t (t1 /. t)
+        erm.Brute.err agree)
+    [ 1; 2; 4 ];
+  bench_extra_headline :=
+    [
+      ("cores", jint cores);
+      ("compile_hits", jint (Obs.Metric.value compile_hits_c));
+      ( "intern_shard_merges",
+        jint (Obs.Metric.value ty_merges_c + Obs.Metric.value cty_merges_c) );
+      ("speedup_at_4_jobs", jfloat !speedup4);
+      ("identical", Obs.Json.Bool !all_identical);
+    ];
+  row
+    "acceptance: hypotheses bit-identical at every jobs level; on hosts \
+     with >= 4 cores the 4-job erm_brute speedup must reach 3x (gated in \
+     CI; on this host cores = %d).\n"
+    cores
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1644,6 +1791,7 @@ let experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
+    ("e21", e21);
     ("micro", micro);
     ("overhead", overhead);
   ]

@@ -781,6 +781,13 @@ let learn_cmd =
         w_chaos = chaos;
         w_make_budget =
           (fun () -> budget_of ~fuel ~timeout ~max_table ~max_ball);
+        (* chunk results carry only (index, errors): no type ids
+           survive a chunk, so the worker process can drop the intern
+           registries instead of growing them for the whole drain *)
+        w_reclaim =
+          (fun () ->
+            Modelcheck.Types.reset_tables ();
+            Modelcheck.Ctypes.reset_tables ());
       }
       ~eval
   in
@@ -1474,6 +1481,14 @@ let mc_cmd =
     with_obs ~pulse ~trace ~stats ~stats_json @@ fun () ->
     with_pulse ~cmd:"mc" pulse @@ fun () ->
     let phi = parse_formula_or_exit ~cmd:"mc" ~flag:"--formula" phi in
+    (match Fo.Formula.free_vars phi with
+    | [] -> ()
+    | fv ->
+        Format.eprintf
+          "folearn mc: --formula must be a sentence; free variable%s: %s@."
+          (if List.length fv > 1 then "s" else "")
+          (String.concat ", " fv);
+        exit 2);
     let budget =
       budget_for_pulse pulse (budget_of ~fuel ~timeout ~max_table ~max_ball)
     in

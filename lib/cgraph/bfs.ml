@@ -21,29 +21,38 @@ let record_frontiers dist =
       levels
   end
 
+(* The traversals below run on a flat int-array FIFO over the CSR rows
+   instead of a boxed [Queue]: the frontier is one contiguous scan, a
+   vertex costs a store on push and a load on pop, and every discovered
+   vertex enters the queue exactly once so a plain [n]-slot array never
+   overflows.  Visit order (and therefore the per-dequeue [Guard.tick]
+   count, which budgeted runs pin) is identical to the queue version. *)
+
 let distances_multi g srcs =
   Obs.Metric.incr bfs_calls;
   let n = Graph.order g in
   let dist = Array.make n infinity in
-  let queue = Queue.create () in
+  let queue = Array.make (max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
   List.iter
     (fun s ->
       if dist.(s) = infinity then begin
         dist.(s) <- 0;
-        Queue.add s queue
+        queue.(!tail) <- s;
+        incr tail
       end)
     srcs;
-  while not (Queue.is_empty queue) do
+  while !head < !tail do
     Guard.tick Guard.Bfs_frontier;
-    let u = Queue.take queue in
+    let u = queue.(!head) in
+    incr head;
     let du = dist.(u) in
-    Array.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v) = infinity then begin
           dist.(v) <- du + 1;
-          Queue.add v queue
+          queue.(!tail) <- v;
+          incr tail
         end)
-      (Graph.neighbors g u)
   done;
   record_frontiers dist;
   dist
@@ -60,25 +69,27 @@ let dist g u v =
     let u, v = if Graph.degree g u <= Graph.degree g v then (u, v) else (v, u) in
     let n = Graph.order g in
     let dist_arr = Array.make n infinity in
-    let queue = Queue.create () in
+    let queue = Array.make (max n 1) 0 in
+    let head = ref 0 and tail = ref 0 in
     dist_arr.(u) <- 0;
-    Queue.add u queue;
+    queue.(!tail) <- u;
+    incr tail;
     let result = ref infinity in
     (try
-       while not (Queue.is_empty queue) do
+       while !head < !tail do
          Guard.tick Guard.Bfs_frontier;
-         let x = Queue.take queue in
-         Array.iter
-           (fun y ->
+         let x = queue.(!head) in
+         incr head;
+         Graph.iter_neighbors g x (fun y ->
              if dist_arr.(y) = infinity then begin
                dist_arr.(y) <- dist_arr.(x) + 1;
                if y = v then begin
                  result := dist_arr.(y);
                  raise Exit
                end;
-               Queue.add y queue
+               queue.(!tail) <- y;
+               incr tail
              end)
-           (Graph.neighbors g x)
        done
      with Exit -> ());
     !result
@@ -119,26 +130,28 @@ let within g ~r u v =
     Obs.Metric.incr bfs_calls;
     let n = Graph.order g in
     let dist_arr = Array.make n infinity in
-    let queue = Queue.create () in
+    let queue = Array.make (max n 1) 0 in
+    let head = ref 0 and tail = ref 0 in
     dist_arr.(u) <- 0;
-    Queue.add u queue;
+    queue.(!tail) <- u;
+    incr tail;
     let found = ref false in
     (try
-       while not (Queue.is_empty queue) do
+       while !head < !tail do
          Guard.tick Guard.Bfs_frontier;
-         let x = Queue.take queue in
+         let x = queue.(!head) in
+         incr head;
          if dist_arr.(x) >= r then raise Exit;
-         Array.iter
-           (fun y ->
+         Graph.iter_neighbors g x (fun y ->
              if dist_arr.(y) = infinity then begin
                dist_arr.(y) <- dist_arr.(x) + 1;
                if y = v then begin
                  found := true;
                  raise Exit
                end;
-               Queue.add y queue
+               queue.(!tail) <- y;
+               incr tail
              end)
-           (Graph.neighbors g x)
        done
      with Exit -> ());
     !found

@@ -9,7 +9,10 @@
     arrays where possible). *)
 
 type t
-(** A vertex-coloured graph. *)
+(** A vertex-coloured graph, stored in compressed-sparse-row form:
+    adjacency is two flat Bigarray int vectors (row offsets and sorted
+    targets) and each colour class carries a membership bitset, so
+    neighbour scans are contiguous and colour tests are O(1). *)
 
 type vertex = int
 (** Vertices are dense integer identifiers [0 .. order g - 1]. *)
@@ -43,7 +46,17 @@ val vertices : t -> vertex list
 (** All vertices in increasing order. *)
 
 val neighbors : t -> vertex -> vertex array
-(** Sorted array of neighbours.  The returned array must not be mutated. *)
+(** Sorted array of neighbours.  The returned array must not be mutated.
+    Materialises a fresh array from the CSR row; hot loops should prefer
+    {!iter_neighbors} / {!fold_neighbors}, which scan the row in place. *)
+
+val iter_neighbors : t -> vertex -> (vertex -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbour of [v] in
+    increasing order, without allocating. *)
+
+val fold_neighbors : t -> vertex -> ('a -> vertex -> 'a) -> 'a -> 'a
+(** [fold_neighbors g v f init] folds [f] over the neighbours of [v] in
+    increasing order, without allocating. *)
 
 val degree : t -> vertex -> int
 (** Number of neighbours. *)
@@ -66,6 +79,11 @@ val has_color : t -> string -> vertex -> bool
 (** [has_color g c v] tests [v ∈ P_c(G)].  A colour absent from the
     vocabulary holds of no vertex. *)
 
+val color_test : t -> string -> vertex -> bool
+(** [color_test g c] resolves the colour [c] once and returns its O(1)
+    bitset membership test — the staged form of {!has_color} used by
+    compiled evaluators.  Partially apply it outside the hot loop. *)
+
 val color_class : t -> string -> vertex list
 (** All vertices of a colour (empty if the colour is unknown). *)
 
@@ -83,6 +101,13 @@ val restrict_vocabulary : t -> string list -> t
 
 val equal : t -> t -> bool
 (** Structural equality: same order, same edge set, same colour classes. *)
+
+val uid : t -> int
+(** A process-unique identity for this value, fresh per construction
+    (colour expansion and vocabulary restriction also refresh it).
+    Lets formula-compilation caches key on graph identity without
+    structural comparison; equal uids imply {!equal} graphs, never the
+    converse. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable multi-line description. *)

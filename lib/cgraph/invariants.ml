@@ -11,15 +11,13 @@ let components g =
       while not (Queue.is_empty queue) do
         let u = Queue.take queue in
         comp := u :: !comp;
-        Array.iter
-          (fun w ->
+        Graph.iter_neighbors g u (fun w ->
             if not seen.(w) then begin
               seen.(w) <- true;
               Queue.add w queue
             end)
-          (Graph.neighbors g u)
       done;
-      comps := List.sort compare !comp :: !comps
+      comps := List.sort Int.compare !comp :: !comps
     end
   done;
   List.rev !comps
@@ -44,9 +42,8 @@ let degeneracy g =
       done;
       best := max !best deg.(!v);
       removed.(!v) <- true;
-      Array.iter
-        (fun w -> if not removed.(w) then deg.(w) <- deg.(w) - 1)
-        (Graph.neighbors g !v)
+      Graph.iter_neighbors g !v (fun w ->
+          if not removed.(w) then deg.(w) <- deg.(w) - 1)
     done;
     !best
   end
@@ -68,14 +65,12 @@ let treewidth_exact ?(cap = 16) g =
       let seen = Array.make n false in
       let count = ref 0 in
       let rec dfs u =
-        Array.iter
-          (fun w ->
+        Graph.iter_neighbors g u (fun w ->
             if not seen.(w) then begin
               seen.(w) <- true;
               if s land (1 lsl w) <> 0 then dfs w
               else if w <> v then incr count
             end)
-          (Graph.neighbors g u)
       in
       seen.(v) <- true;
       dfs v;

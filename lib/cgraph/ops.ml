@@ -10,7 +10,7 @@ type embedding = {
 
 let induced g s =
   Obs.Metric.incr induced_calls;
-  let s = List.sort_uniq compare s in
+  let s = List.sort_uniq Int.compare s in
   List.iter
     (fun v -> if v < 0 || v >= Graph.order g then raise (Graph.Invalid_vertex v))
     s;
@@ -23,11 +23,13 @@ let induced g s =
     List.concat_map
       (fun (i : int) ->
         let v = old_of_new.(i) in
-        Graph.neighbors g v |> Array.to_list
-        |> List.filter_map (fun w ->
-               match Hashtbl.find_opt new_of_old w with
-               | Some j when i < j -> Some (i, j)
-               | _ -> None))
+        Graph.fold_neighbors g v
+          (fun acc w ->
+            match Hashtbl.find_opt new_of_old w with
+            | Some j when i < j -> (i, j) :: acc
+            | _ -> acc)
+          []
+        |> List.rev)
       (List.init m Fun.id)
   in
   let colors =

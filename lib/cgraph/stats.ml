@@ -9,7 +9,7 @@ type t = {
   smallest_component : int;
 }
 
-(* A private BFS over [Graph.neighbors]: [Bfs] reports every dequeue to
+(* A private BFS over the CSR rows: [Bfs] reports every dequeue to
    the guard, and a planner probing the structure must not spend the
    fuel of the run it is planning. *)
 let bfs_mark g seen srcs ~r ~on_visit =
@@ -25,14 +25,12 @@ let bfs_mark g seen srcs ~r ~on_visit =
   while not (Queue.is_empty q) do
     let u, d = Queue.pop q in
     if d < r then
-      Array.iter
-        (fun w ->
+      Graph.iter_neighbors g u (fun w ->
           if not seen.(w) then begin
             seen.(w) <- true;
             on_visit w;
             Queue.add (w, d + 1) q
           end)
-        (Graph.neighbors g u)
   done
 
 let count_from g srcs ~r =
@@ -56,7 +54,7 @@ let probe g =
   done;
   let degree_histogram =
     Hashtbl.fold (fun d c acc -> (d, c) :: acc) hist []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   let color_counts =
     List.map (fun c -> (c, List.length (Graph.color_class g c))) (Graph.color_names g)

@@ -34,10 +34,10 @@ let covered g ~r xs ~radius zs =
 let cover g ~r xs =
   if r < 1 then invalid_arg "Vitali.cover: need r >= 1";
   if xs = [] then invalid_arg "Vitali.cover: empty centre set";
-  let xs = List.sort_uniq compare xs in
+  let xs = List.sort_uniq Int.compare xs in
   let rec go zs radius rounds =
     if balls_disjoint g ~radius zs then
-      { centers = List.sort compare zs; radius; rounds }
+      { centers = List.sort Int.compare zs; radius; rounds }
     else
       let zs' = maximal_disjoint g ~radius zs in
       go zs' (3 * radius) (rounds + 1)
@@ -45,7 +45,7 @@ let cover g ~r xs =
   go xs r 0
 
 let check g ~r xs c =
-  let xs = List.sort_uniq compare xs in
+  let xs = List.sort_uniq Int.compare xs in
   List.for_all (fun z -> List.mem z xs) c.centers
   && balls_disjoint g ~radius:c.radius c.centers
   && covered g ~r xs ~radius:c.radius c.centers

@@ -36,6 +36,9 @@ let of_formula g ~k ~formula ~params =
     (Analysis.Guard.budgets ~ell ~k ()
     @ Analysis.Guard.hypothesis_formula ~k ~ell formula);
   let vars = xvars k @ yvars ell in
+  (* stage once: every sample tuple then runs the compiled closure tree
+     instead of re-walking the AST *)
+  let compiled = Modelcheck.Compile.compile g ~vars formula in
   {
     graph = g;
     k;
@@ -44,7 +47,7 @@ let of_formula g ~k ~formula ~params =
     params;
     predictor =
       (fun v ->
-        Modelcheck.Eval.holds_tuple g ~vars (Graph.Tuple.append v params) formula);
+        Modelcheck.Compile.holds_tuple compiled (Graph.Tuple.append v params));
     formula = lazy formula;
     signature =
       lazy

@@ -43,9 +43,10 @@ let label_with_query g ~formula ~xvars ?(yvars = []) ?(params = [||]) tuples =
   let vars = xvars @ yvars in
   Analysis.Guard.require ~what:"Sample.label_with_query"
     (Analysis.Fo_check.check ~allowed_free:vars formula);
+  let compiled = Modelcheck.Compile.compile g ~vars formula in
   List.map
     (fun v ->
-      (v, Modelcheck.Eval.holds_tuple g ~vars (Graph.Tuple.append v params) formula))
+      (v, Modelcheck.Compile.holds_tuple compiled (Graph.Tuple.append v params)))
     tuples
 
 let flip_noise ~seed ~p lam =

@@ -287,6 +287,7 @@ type worker_cfg = {
   w_parent : int option;
   w_chaos : chaos list;
   w_make_budget : unit -> Guard.Budget.t option;
+  w_reclaim : unit -> unit;
 }
 
 let wait_for_meta dir ~timeout_s =
@@ -474,6 +475,10 @@ let worker cfg ~eval =
                  with
                 | true -> Hashtbl.replace last_failed chunk fence
                 | false -> ());
+                (* quiescent point: the chunk result is published and
+                   carries only counters, so the caller may reclaim
+                   per-process caches (e.g. intern registries) here *)
+                cfg.w_reclaim ();
                 loop ()
             | None ->
                 Unix.sleepf idle;

@@ -144,6 +144,12 @@ type worker_cfg = {
   w_chaos : chaos list;
   w_make_budget : unit -> Guard.Budget.t option;
       (** fresh per-chunk admission budget (from the CLI flags) *)
+  w_reclaim : unit -> unit;
+      (** called after each settled chunk, when no chunk state is live —
+          the hook for reclaiming per-process caches that would
+          otherwise grow across chunks (the CLI resets the
+          [Modelcheck] intern registries here).  Use [Fun.id]-style
+          no-op [(fun () -> ())] if nothing needs reclaiming. *)
 }
 
 val worker :

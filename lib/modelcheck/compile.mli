@@ -1,0 +1,77 @@
+(** Staged first-order evaluation: compile a formula once, run it on
+    many tuples.
+
+    The reference walker in {!Eval} re-traverses the AST and rebuilds a
+    string-keyed environment map on every call; for the learners, which
+    evaluate the {e same} hypothesis formula across every sample tuple,
+    that interpretive overhead dominates.  [compile] lowers a formula
+    into a tree of closures over a flat int slot array — variables are
+    resolved to array indices, colours to bitset tests, quantifier
+    domains to the (fixed) graph order — so a per-tuple evaluation does
+    no name lookup and allocates only the slot array.
+
+    Semantics, including evaluation order, short-circuiting, laziness
+    of unbound-variable and invalid-vertex errors, [Guard.tick]
+    checkpoints (one per quantifier-node visit) and the batched
+    [modelcheck.eval.*] counters, match {!Eval.holds} exactly; the test
+    suite pins compiled ≡ reference on random formulas, graphs and
+    environments.
+
+    A compiled value is immutable and safe to share across domains:
+    each evaluation works on a caller-provided (or per-call) slot
+    array. *)
+
+open Cgraph
+
+exception Unbound_variable of Fo.Formula.var
+(** Same exception as {!Eval.Unbound_variable} (re-exported there):
+    raised {e when the offending atom is reached}, not at compile time,
+    matching the reference walker's laziness. *)
+
+type t
+(** A formula compiled against one graph and one free-variable list. *)
+
+val compile : Graph.t -> vars:Fo.Formula.var list -> Fo.Formula.t -> t
+(** [compile g ~vars f] stages [f] with free variables bound
+    positionally to [vars].  Duplicate-name validation happens {e here},
+    once, so the per-tuple path is check-free.
+    @raise Invalid_argument on a duplicate variable in [vars]. *)
+
+val compile_shadow : Graph.t -> vars:Fo.Formula.var list -> Fo.Formula.t -> t
+(** Like {!compile} but a repeated variable name shadows (the last
+    occurrence wins) — the iterated-map-insert semantics the
+    {!Eval.answers} enumerators historically had. *)
+
+val cached : Graph.t -> vars:Fo.Formula.var list -> Fo.Formula.t -> t
+(** Memoising {!compile}: a per-domain bounded cache keyed on graph
+    identity ({!Graph.uid}), variable list and formula.  Hits are
+    counted on [modelcheck.compile.cache_hits].  Lock-free (the cache
+    is domain-local). *)
+
+(** {1 Running} *)
+
+val holds_tuple : t -> Graph.Tuple.t -> bool
+(** [holds_tuple c ū] binds the compiled free variables positionally to
+    [ū] and evaluates.  Counts one [modelcheck.eval.calls]; allocates a
+    fresh slot array, so it is safe to call concurrently on a shared
+    compiled value.
+    @raise Invalid_argument on an arity mismatch. *)
+
+val run : t -> int array -> int ref -> bool
+(** Low-level entry for enumerators: evaluate with a caller-owned slot
+    array (length at least {!slots}; free variables already written at
+    slots [0 .. arity-1]) and a caller-owned quantifier-node batch ref.
+    Records no counters; the caller flushes the batch ref into
+    [modelcheck.eval.quantifier_nodes] itself. *)
+
+(** {1 Inspection} *)
+
+val graph : t -> Graph.t
+val vars : t -> Fo.Formula.var list
+
+val arity : t -> int
+(** Number of free-variable slots, [List.length (vars t)]. *)
+
+val slots : t -> int
+(** Total slot count: arity plus one slot per quantifier nesting
+    level. *)

@@ -3,62 +3,38 @@ open Cgraph
 type ty = int
 
 let equal (a : ty) (b : ty) = a = b
-let compare (a : ty) (b : ty) = Stdlib.compare a b
+let compare (a : ty) (b : ty) = Int.compare a b
 let hash (a : ty) = a
 let pp ppf (a : ty) = Format.fprintf ppf "c#%d" a
 
 (* ------------------------------------------------------------------ *)
-(* Registry (separate from the plain-type registry)                    *)
+(* Registry (separate from the plain-type registry; sharded, see       *)
+(* Intern)                                                             *)
 (* ------------------------------------------------------------------ *)
-
-type key = Types.atomsig * (ty * int) list option
-
-type entry = { key : key; entry_rank : int }
 
 let dummy_sig : Types.atomsig =
   { Types.sig_arity = 0; eqs = []; edgs = []; cols = [||] }
 
-(* Same domain-safety discipline as [Types]: mutex-guarded intern,
-   lock-free id -> entry reads through an atomically published array. *)
+module Reg = Intern.Make (struct
+  type key = Types.atomsig * (ty * int) list option
 
-let table : (key, ty) Hashtbl.t = Hashtbl.create 1024
-let table_mutex = Mutex.create ()
-let entries : entry array Atomic.t =
-  Atomic.make (Array.make 512 { key = (dummy_sig, None); entry_rank = -1 })
-let next_id = ref 0
+  let dummy = (dummy_sig, None)
+  let prefix = "modelcheck.ctypes"
+end)
 
-let intern key entry_rank =
-  Mutex.lock table_mutex;
-  let id =
-    match Hashtbl.find_opt table key with
-    | Some id -> id
-    | None ->
-        let id = !next_id in
-        incr next_id;
-        let arr = Atomic.get entries in
-        let arr =
-          if id >= Array.length arr then begin
-            let bigger = Array.make (2 * Array.length arr) arr.(0) in
-            Array.blit arr 0 bigger 0 (Array.length arr);
-            bigger
-          end
-          else arr
-        in
-        arr.(id) <- { key; entry_rank };
-        Atomic.set entries arr;
-        Hashtbl.replace table key id;
-        id
-  in
-  Mutex.unlock table_mutex;
-  id
-
-let rank (t : ty) = (Atomic.get entries).(t).entry_rank
+let intern = Reg.intern
+let rank = Reg.rank
 
 let arity (t : ty) =
-  let sg, _ = (Atomic.get entries).(t).key in
+  let sg, _ = Reg.key t in
   sg.Types.sig_arity
 
-let node (t : ty) = (Atomic.get entries).(t).key
+let node (t : ty) = Reg.key t
+
+type table_stats = Reg.stats = { live : int; bytes : int }
+
+let table_stats = Reg.stats
+let reset_tables = Reg.reset
 
 (* ------------------------------------------------------------------ *)
 (* Computation                                                         *)
@@ -90,7 +66,8 @@ let rec ctp ctx ~q ~tmax u =
           done;
           let children =
             Hashtbl.fold (fun child c acc -> (child, c) :: acc) counts []
-            |> List.sort Stdlib.compare
+            |> List.sort (fun (a, ca) (b, cb) ->
+                   match Int.compare a b with 0 -> Int.compare ca cb | c -> c)
           in
           intern (sg, Some children) q
         end

@@ -55,3 +55,15 @@ val hintikka : colors:string list -> tmax:int -> ty -> Fo.Formula.t
     sub-vocabulary of [colors] and tuple [v̄],
     [H |= hintikka θ (v̄)  iff  ctp(H, v̄) = θ].  Uses [atleast]
     quantifiers; quantifier rank is exactly the rank of the type. *)
+
+(** {1 Registry lifecycle} *)
+
+type table_stats = { live : int  (** interned types *); bytes : int }
+
+val table_stats : unit -> table_stats
+(** Registry size; [bytes] matches the [modelcheck.ctypes.table_bytes]
+    gauge. *)
+
+val reset_tables : unit -> unit
+(** Empty the registry and invalidate all per-domain shards; see
+    {!Types.reset_tables} for the quiescence contract. *)

@@ -2,7 +2,7 @@ open Cgraph
 
 type env = (Fo.Formula.var * Graph.vertex) list
 
-exception Unbound_variable of Fo.Formula.var
+exception Unbound_variable = Compile.Unbound_variable
 
 module VMap = Map.Make (String)
 
@@ -20,7 +20,14 @@ module VMap = Map.Make (String)
    per-node: fuel accounting is load-bearing for the focost envelopes
    and must not coarsen.  The flush is exception-safe because a tick
    can unwind to the enclosing Guard.run mid-recursion, and counter
-   totals must come out identical either way. *)
+   totals must come out identical either way.
+
+   [eval_n] below is the reference walker: it remains the semantics
+   oracle (the QCheck suite pins compiled ≡ reference) and the engine
+   of the generic assoc-list [holds] entry point.  The per-tuple entry
+   points — [holds_tuple], [sentence], [answers], [count_answers] —
+   route through {!Compile}, which evaluates the same recursion over a
+   flat int slot array with identical tick and counter behaviour. *)
 let eval_calls = Obs.Metric.counter "modelcheck.eval.calls"
 let quantifier_nodes = Obs.Metric.counter "modelcheck.eval.quantifier_nodes"
 
@@ -96,68 +103,71 @@ let holds g env f =
   in
   eval g (ref 0) env f
 
-let sentence g f = holds g [] f
+let sentence g f = Compile.holds_tuple (Compile.cached g ~vars:[] f) [||]
 
 let holds_tuple g ~vars t f =
   if List.length vars <> Array.length t then
     invalid_arg "Eval.holds_tuple: variable/tuple length mismatch";
-  holds g (List.mapi (fun i x -> (x, t.(i))) vars) f
+  Compile.holds_tuple (Compile.cached g ~vars f) t
 
 (* Both enumerators stream the n^k assignments iteratively (same
-   lexicographic order as [Graph.Tuple.all]) instead of materialising
-   the tuple list up front: live memory is O(k + answers), not O(n^k),
-   and a Guard checkpoint inside [eval] can stop the sweep early. *)
+   lexicographic order as [Graph.Tuple.all]) into the compiled code's
+   slot array: live memory is O(slots + answers), not O(n^k), there is
+   no environment-map churn, and a Guard checkpoint inside the compiled
+   quantifier nodes can stop the sweep early. *)
 
 let answers g ~vars f =
   let n = Graph.order g in
-  let vars_arr = Array.of_list vars in
-  let k = Array.length vars_arr in
-  let t = Array.make k 0 in
+  let comp = Compile.compile_shadow g ~vars f in
+  let k = List.length vars in
+  let env = Array.make (max (Compile.slots comp) 1) 0 in
   let acc = ref [] in
   let calls = ref 0 in
   let nodes = ref 0 in
-  let rec go i env =
+  let rec go i =
     if i = k then begin
       incr calls;
-      if eval_n g nodes env f then acc := Array.copy t :: !acc
+      if Compile.run comp env nodes then acc := Array.sub env 0 k :: !acc
     end
     else
       for v = 0 to n - 1 do
-        t.(i) <- v;
-        go (i + 1) (VMap.add vars_arr.(i) v env)
+        env.(i) <- v;
+        go (i + 1)
       done
   in
   let flush () =
     Obs.Metric.add eval_calls !calls;
     flush_nodes nodes
   in
-  (match go 0 VMap.empty with
+  (match go 0 with
   | () -> flush ()
   | exception e -> flush (); raise e);
   List.rev !acc
 
 let count_answers g ~vars f =
   let n = Graph.order g in
-  let vars_arr = Array.of_list vars in
-  let k = Array.length vars_arr in
+  let comp = Compile.compile_shadow g ~vars f in
+  let k = List.length vars in
+  let env = Array.make (max (Compile.slots comp) 1) 0 in
   let count = ref 0 in
   let calls = ref 0 in
   let nodes = ref 0 in
-  let rec go i env =
+  let rec go i =
     if i = k then begin
       incr calls;
-      if eval_n g nodes env f then incr count
+      if Compile.run comp env nodes then incr count
     end
     else
       for v = 0 to n - 1 do
-        go (i + 1) (VMap.add vars_arr.(i) v env)
+        env.(i) <- v;
+        go (i + 1)
       done
   in
   let flush () =
     Obs.Metric.add eval_calls !calls;
     flush_nodes nodes
   in
-  (match go 0 VMap.empty with
+  (match go 0 with
   | () -> flush ()
   | exception e -> flush (); raise e);
   !count

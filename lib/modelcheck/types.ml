@@ -3,7 +3,7 @@ open Cgraph
 type ty = int
 
 let equal (a : ty) (b : ty) = a = b
-let compare (a : ty) (b : ty) = Stdlib.compare a b
+let compare (a : ty) (b : ty) = Int.compare a b
 let hash (a : ty) = a
 let pp ppf (a : ty) = Format.fprintf ppf "#%d" a
 
@@ -15,61 +15,30 @@ type atomsig = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Global hash-consing registry                                        *)
+(* Hash-consing registry (sharded; see Intern)                         *)
 (* ------------------------------------------------------------------ *)
 
-type key = atomsig * ty list option
 (* children sorted & deduplicated; None = rank 0 *)
+module Reg = Intern.Make (struct
+  type key = atomsig * ty list option
 
-type entry = { key : key; entry_rank : int }
+  let dummy = ({ sig_arity = 0; eqs = []; edgs = []; cols = [||] }, None)
+  let prefix = "modelcheck.types"
+end)
 
-(* Domain-safety: [intern] (lookup + insert) is serialised by
-   [table_mutex] — a bare Hashtbl is not safe under concurrent resize.
-   The id -> entry direction is lock-free: [entries] is an [Atomic]
-   holding an immutable-once-published array.  A slot is written, then
-   the (possibly grown) array is published with [Atomic.set], and only
-   then is the id released to a caller via the mutex; any domain that
-   legitimately holds an id therefore reads a published array in which
-   that slot is filled. *)
-
-let table : (key, ty) Hashtbl.t = Hashtbl.create 4096
-let table_mutex = Mutex.create ()
-let entries : entry array Atomic.t =
-  Atomic.make (Array.make 1024 { key = ({ sig_arity = 0; eqs = []; edgs = []; cols = [||] }, None); entry_rank = -1 })
-let next_id = ref 0
-
-let intern key entry_rank =
-  Mutex.lock table_mutex;
-  let id =
-    match Hashtbl.find_opt table key with
-    | Some id -> id
-    | None ->
-        let id = !next_id in
-        incr next_id;
-        let arr = Atomic.get entries in
-        let arr =
-          if id >= Array.length arr then begin
-            let bigger = Array.make (2 * Array.length arr) arr.(0) in
-            Array.blit arr 0 bigger 0 (Array.length arr);
-            bigger
-          end
-          else arr
-        in
-        arr.(id) <- { key; entry_rank };
-        Atomic.set entries arr;
-        Hashtbl.replace table key id;
-        id
-  in
-  Mutex.unlock table_mutex;
-  id
-
-let rank (t : ty) = (Atomic.get entries).(t).entry_rank
+let intern = Reg.intern
+let rank = Reg.rank
 
 let arity (t : ty) =
-  let sg, _ = (Atomic.get entries).(t).key in
+  let sg, _ = Reg.key t in
   sg.sig_arity
 
-let node (t : ty) = (Atomic.get entries).(t).key
+let node (t : ty) = Reg.key t
+
+type table_stats = Reg.stats = { live : int; bytes : int }
+
+let table_stats = Reg.stats
+let reset_tables = Reg.reset
 
 (* ------------------------------------------------------------------ *)
 (* Atomic signatures                                                   *)
@@ -132,7 +101,7 @@ let rec tp ctx ~q u =
             let child = tp ctx ~q:(q - 1) (Graph.Tuple.append u [| w |]) in
             children := child :: !children
           done;
-          let children = List.sort_uniq Stdlib.compare !children in
+          let children = List.sort_uniq Int.compare !children in
           intern (sg, Some children) q
         end
       in

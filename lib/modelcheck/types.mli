@@ -82,3 +82,21 @@ val node : ty -> atomsig * ty list option
 (** Decompose a canonical type: its atomic signature, and [None] for rank 0
     or [Some children] (sorted, distinct [(q-1)]-types of the one-point
     extensions) for rank [>= 1]. *)
+
+(** {1 Registry lifecycle}
+
+    The hash-consing registry grows monotonically while in use (every
+    distinct type ever interned stays live).  Long-running processes —
+    the fleet worker in particular — reclaim it between work chunks. *)
+
+type table_stats = { live : int  (** interned types *); bytes : int }
+
+val table_stats : unit -> table_stats
+(** Registry size; [bytes] is the estimate exported on the
+    [modelcheck.types.table_bytes] gauge. *)
+
+val reset_tables : unit -> unit
+(** Empty the registry and invalidate all per-domain shards.  Every
+    previously returned [ty] becomes stale (accessors raise).  Only
+    call at a quiescent point with no live [ty] values — e.g. between
+    fleet chunks, whose results carry only error counts. *)

@@ -34,6 +34,17 @@ EXTRA_HEADLINE = {
         "leases_expired": int,
         "chunks_quarantined": int,
     },
+    # e21 reports the hot-path engine's health: how many evaluations hit
+    # the compile cache, how often intern shards caught up with the
+    # global table, and the erm_brute speedup at 4 jobs (gated in CI
+    # only when the runner actually has >= 4 cores)
+    "e21": {
+        "cores": int,
+        "compile_hits": int,
+        "intern_shard_merges": int,
+        "speedup_at_4_jobs": (int, float),
+        "identical": bool,
+    },
 }
 
 

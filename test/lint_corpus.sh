@@ -76,11 +76,22 @@ for f in "$good_dir"/*.fo; do
     fi
 done
 
-# SARIF golden: deterministic encoder, pinned byte-for-byte
+# SARIF golden: deterministic encoder, pinned byte-for-byte.  The
+# golden's artifact URI echoes the path the file was passed as, so the
+# encoder must be invoked as `corpus/bad/…` regardless of where the
+# harness started: when BAD_DIR carries a prefix (the CI job passes
+# test/corpus/bad from the repo root), cd into it first.
 if [ -n "$sarif_golden" ]; then
     f="$bad_dir/unbound_variable.fo"
     flags=$(sed -n 's/^# lint: *//p' "$f")
-    "$bin" lint --format sarif $flags "$f" > lint_sarif_out.json
+    prefix=${bad_dir%corpus/bad}
+    if [ "$prefix" != "$bad_dir" ] && [ -n "$prefix" ]; then
+        bin_abs=$(cd "$(dirname "$bin")" && pwd)/$(basename "$bin")
+        (cd "$prefix" && "$bin_abs" lint --format sarif $flags \
+            corpus/bad/unbound_variable.fo) > lint_sarif_out.json
+    else
+        "$bin" lint --format sarif $flags "$f" > lint_sarif_out.json
+    fi
     if cmp -s lint_sarif_out.json "$sarif_golden"; then
         echo "ok (sarif golden): $f"
     else

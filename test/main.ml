@@ -26,4 +26,5 @@ let () =
       ("resil", Test_resil.suite);
       ("pulse", Test_pulse.suite);
       ("fleet", Test_fleet.suite);
+      ("hotpath", Test_hotpath.suite);
     ]
