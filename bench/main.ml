@@ -1782,6 +1782,245 @@ let e21 () =
     cores
 
 (* ------------------------------------------------------------------ *)
+(* E22: resident service - warm latency, admission, shedding, resume   *)
+(* ------------------------------------------------------------------ *)
+
+let e22 () =
+  header
+    "E22  resident service: warm vs cold latency, admission, shedding, \
+     resume";
+  let requests = ref 0 and rejected = ref 0 and shed = ref 0 in
+  (* the chaos harness's SHORT_LEARN workload: the serve identity test
+     already proves server output byte-identical to the CLI on it, so
+     the latency comparison here is apples to apples *)
+  let learn_params =
+    Obs.Json.Obj
+      [
+        ("graph", jstr "cycle:24");
+        ("colors", Obs.Json.List [ jstr "Red=0,3,6,9" ]);
+        ("target", jstr "exists y. (E(x1,y) & Red(y))");
+        ("k", jint 1);
+        ("ell", jint 1);
+        ("q", jint 2);
+        ("solver", jstr "brute");
+      ]
+  in
+  let run_learn ?budget ?ckpt ?precheck () =
+    incr requests;
+    Serve.Exec.run_op ?budget ?ckpt ?precheck ~op:"learn"
+      ~params:learn_params ()
+  in
+  (* --- A: warm-engine latency vs a cold CLI process.  The warm leg is
+     the daemon's engine path (Serve.Exec.run_op in a long-lived
+     process, intern tables and evaluator caches carried over); the
+     cold leg forks the real one-shot binary per request when it is
+     built, and otherwise simulates a fresh process by dropping the
+     intern tables between in-process runs. *)
+  let pct sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (ceil (p *. float (n - 1)))))
+  in
+  let samples xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    (pct a 0.5, pct a 0.99)
+  in
+  let warm_n = 9 and cold_n = 7 in
+  ignore (run_learn ());
+  (* untimed table warm-up *)
+  let warm_times =
+    List.init warm_n (fun _ ->
+        let r, t = time (fun () -> run_learn ()) in
+        assert (r.Serve.Exec.code = 0);
+        t)
+  in
+  let cli =
+    let p =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/folearn_cli.exe"
+    in
+    if Sys.file_exists p then Some p else None
+  in
+  let cold_mode = match cli with Some _ -> "cli" | None -> "in-process" in
+  let cold_times =
+    match cli with
+    | Some exe ->
+        let args =
+          [|
+            exe; "learn"; "-g"; "cycle:24"; "--color"; "Red=0,3,6,9";
+            "--target"; "exists y. (E(x1,y) & Red(y))"; "-k"; "1"; "-l";
+            "1"; "-q"; "2"; "--solver"; "brute";
+          |]
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        let times =
+          List.init cold_n (fun _ ->
+              incr requests;
+              snd
+                (time (fun () ->
+                     let pid =
+                       Unix.create_process exe args devnull devnull devnull
+                     in
+                     match snd (Unix.waitpid [] pid) with
+                     | Unix.WEXITED 0 -> ()
+                     | _ -> failwith "cold CLI run failed")))
+        in
+        Unix.close devnull;
+        times
+    | None ->
+        List.init cold_n (fun _ ->
+            T.reset_tables ();
+            Modelcheck.Ctypes.reset_tables ();
+            let r, t = time (fun () -> run_learn ()) in
+            assert (r.Serve.Exec.code = 0);
+            t)
+  in
+  let w50, w99 = samples warm_times and c50, c99 = samples cold_times in
+  let warm_speedup = c50 /. w50 in
+  row "%-10s %6s %12s %12s\n" "leg" "n" "p50 (s)" "p99 (s)";
+  row "%-10s %6d %12.4f %12.4f\n" "warm" warm_n w50 w99;
+  row "%-10s %6d %12.4f %12.4f   (%s)\n" "cold" cold_n c50 c99 cold_mode;
+  row "warm speedup (cold p50 / warm p50): %.2fx\n" warm_speedup;
+  add_row
+    [
+      ("leg", jstr "warm"); ("n", jint warm_n); ("p50_s", jfloat w50);
+      ("p99_s", jfloat w99);
+    ];
+  add_row
+    [
+      ("leg", jstr "cold"); ("n", jint cold_n); ("p50_s", jfloat c50);
+      ("p99_s", jfloat c99); ("mode", jstr cold_mode);
+    ];
+  (* --- B: admission control.  A stingy tenant's fuel quota must be
+     refused by the zero-fuel planner precheck - before any enumeration
+     runs - exactly as the daemon refuses it before queueing. *)
+  let stingy =
+    {
+      Analysis.Plan.fuel = Some 2;
+      timeout_s = None;
+      max_table = None;
+      max_ball = None;
+    }
+  in
+  for _ = 1 to 4 do
+    incr requests;
+    match
+      Serve.Exec.precheck_rejection ~op:"learn" ~params:learn_params
+        ~limits:stingy
+    with
+    | Ok (Some rej) ->
+        assert (rej.Analysis.Plan.resource = "fuel");
+        incr rejected
+    | Ok None -> failwith "fuel=2 must be rejected at admission"
+    | Error m -> failwith m
+  done;
+  add_row [ ("leg", jstr "admission"); ("rejected", jint !rejected) ];
+  row "admission: %d/4 stingy requests refused by the planner precheck\n"
+    !rejected;
+  (* --- C: queue saturation.  12 entries into a cap-4 queue: the
+     bounded scheduler sheds the earliest-deadline victims and the
+     engine only ever sees what survived. *)
+  let q = Serve.Sched.create ~cap:4 in
+  let ran = ref 0 in
+  let base = Obs.Clock.now_ns () in
+  for i = 1 to 12 do
+    incr requests;
+    let entry =
+      {
+        Serve.Sched.e_seq = i;
+        e_tenant = "bench";
+        e_deadline_ns =
+          Some
+            (Int64.add base
+               (Int64.of_int (((i mod 6) + 1) * 1_000_000_000)));
+        e_run = (fun () -> incr ran);
+        e_shed = (fun () -> incr shed);
+      }
+    in
+    match Serve.Sched.push q entry with
+    | `Queued -> ()
+    (* a queued victim's [e_shed] ran inside push; the incoming victim
+       is answered by the caller, exactly as the daemon replies
+       [overloaded] itself *)
+    | `Shed_incoming -> incr shed
+    | `Closed -> failwith "queue closed unexpectedly"
+  done;
+  Serve.Sched.close q;
+  let rec drain () =
+    match Serve.Sched.pop q with
+    | Some e ->
+        e.Serve.Sched.e_run ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  assert (!ran + !shed = 12);
+  add_row [ ("leg", jstr "overload"); ("ran", jint !ran); ("shed", jint !shed) ];
+  row "overload: cap 4, 12 pushed -> %d executed, %d shed\n" !ran !shed;
+  (* --- D: resume after a kill.  Exhaust the fuel budget mid-
+     enumeration (the bench-process stand-in for SIGKILL - same
+     snapshot, same skip cursor), then resume from the snapshot and
+     demand the answer byte-identical to an uninterrupted run. *)
+  let reference = run_learn ~budget:(Guard.Budget.unlimited ()) () in
+  assert (reference.Serve.Exec.code = 0);
+  let full_fuel =
+    match reference.Serve.Exec.spent with
+    | Some s -> s.Guard.fuel
+    | None -> failwith "reference run must account fuel"
+  in
+  let snap = Filename.temp_file "folearn-e22" ".snap" in
+  let b1 = Guard.Budget.make ~fuel:(max 1 (full_fuel / 2)) () in
+  let ck1 =
+    Resil.Ctl.create ~path:snap ~every:64 ~budget:b1 ~run_id:"bench-e22"
+      ~solver:"brute" ()
+  in
+  let interrupted = run_learn ~budget:b1 ~ckpt:ck1 ~precheck:false () in
+  (* 3 = degraded (a best-so-far was salvaged), 4 = exhausted dry -
+     either way the run stopped early with a snapshot on disk *)
+  assert (interrupted.Serve.Exec.code = 3 || interrupted.Serve.Exec.code = 4);
+  let snapshot =
+    match Resil.Snapshot.load snap with
+    | Ok s -> s
+    | Error `Not_found -> failwith "no snapshot after exhaustion"
+    | Error (`Corrupt m) -> failwith ("corrupt snapshot: " ^ m)
+  in
+  let b2 = Guard.Budget.unlimited () in
+  let ck2 =
+    Resil.Ctl.create ~path:snap ~every:64 ~budget:b2 ~resume:snapshot
+      ~run_id:"bench-e22" ~solver:"brute" ()
+  in
+  let resumed = run_learn ~budget:b2 ~ckpt:ck2 ~precheck:false () in
+  assert (resumed.Serve.Exec.code = 0);
+  let identical = resumed.Serve.Exec.out = reference.Serve.Exec.out in
+  assert identical;
+  bench_checkpoint_writes := Resil.Ctl.writes ck2;
+  Sys.remove snap;
+  add_row
+    [
+      ("leg", jstr "resume");
+      ("fuel_full", jint full_fuel);
+      ("fuel_at_kill", jint (max 1 (full_fuel / 2)));
+      ("snapshot_writes", jint (Resil.Ctl.writes ck2));
+      ("identical", Obs.Json.Bool identical);
+    ];
+  row
+    "resume: exhausted at fuel %d/%d, resumed run byte-identical: %b (%d \
+     snapshot writes)\n"
+    (max 1 (full_fuel / 2))
+    full_fuel identical (Resil.Ctl.writes ck2);
+  bench_extra_headline :=
+    [
+      ("requests", jint !requests);
+      ("rejected", jint !rejected);
+      ("shed", jint !shed);
+      ("warm_speedup", jfloat warm_speedup);
+    ];
+  row
+    "acceptance: stingy fuel refused before any work; cap-4 queue sheds \
+     under 12-deep load; killed run resumes bit-identically.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1791,7 +2030,7 @@ let experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
-    ("e21", e21);
+    ("e21", e21); ("e22", e22);
     ("micro", micro);
     ("overhead", overhead);
   ]

@@ -10,6 +10,10 @@
      game    play out the splitter game and print the trace
      lint    static analysis of FO/MSO formulas (folint)
      pulse   decode a flight-recorder dump or query a live exporter
+     serve   resident multi-tenant learning service (folserve)
+     call    run one op on a resident server, replaying its output
+     submit  enqueue a learn as a resumable server-side job
+     poll    fetch a submitted job's result or status
 
    Graph specifications (the --graph argument):
      path:N          cycle:N        clique:N      star:N
@@ -24,56 +28,16 @@ open Cgraph
 (* Graph specification parsing                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_graph_spec spec =
-  let fail msg = Error (`Msg msg) in
-  match String.split_on_char ':' spec with
-  | "file" :: rest -> (
-      let path = String.concat ":" rest in
-      try Ok (Io.load path) with
-      | Io.Format_error m -> fail (Printf.sprintf "%s: %s" path m)
-      | Sys_error m -> fail m)
-  | [ "path"; n ] -> Ok (Gen.path (int_of_string n))
-  | [ "cycle"; n ] -> Ok (Gen.cycle (int_of_string n))
-  | [ "clique"; n ] -> Ok (Gen.clique (int_of_string n))
-  | [ "star"; n ] -> Ok (Gen.star (int_of_string n))
-  | [ "cbt"; d ] -> Ok (Gen.complete_binary_tree (int_of_string d))
-  | [ "grid"; wh ] -> (
-      match String.split_on_char 'x' wh with
-      | [ w; h ] -> Ok (Gen.grid (int_of_string w) (int_of_string h))
-      | _ -> fail "grid spec must be grid:WxH")
-  | [ "tree"; n ] -> Ok (Gen.random_tree ~seed:42 (int_of_string n))
-  | [ "tree"; n; seed ] ->
-      Ok (Gen.random_tree ~seed:(int_of_string seed) (int_of_string n))
-  | [ "deg"; n; d ] ->
-      Ok (Gen.random_bounded_degree ~seed:42 ~n:(int_of_string n) ~d:(int_of_string d))
-  | [ "deg"; n; d; seed ] ->
-      Ok
-        (Gen.random_bounded_degree ~seed:(int_of_string seed)
-           ~n:(int_of_string n) ~d:(int_of_string d))
-  | [ "gnp"; n; p ] ->
-      Ok (Gen.gnp ~seed:42 ~n:(int_of_string n) ~p:(float_of_string p))
-  | [ "gnp"; n; p; seed ] ->
-      Ok
-        (Gen.gnp ~seed:(int_of_string seed) ~n:(int_of_string n)
-           ~p:(float_of_string p))
-  | _ -> fail (Printf.sprintf "unknown graph spec %S (see --help)" spec)
+(* the spec DSL lives in Serve.Exec so the resident service accepts
+   exactly the strings this CLI accepts *)
+let parse_graph_spec = Serve.Exec.parse_graph_spec
 
 let graph_conv =
   let parser s = try parse_graph_spec s with _ -> Error (`Msg "bad graph spec") in
   let printer ppf _ = Format.fprintf ppf "<graph>" in
   Arg.conv (parser, printer)
 
-let parse_color s =
-  match String.index_opt s '=' with
-  | None -> Error (`Msg "colour must be NAME=v1,v2,...")
-  | Some i ->
-      let name = String.sub s 0 i in
-      let rest = String.sub s (i + 1) (String.length s - i - 1) in
-      let members =
-        if rest = "" then []
-        else List.map int_of_string (String.split_on_char ',' rest)
-      in
-      Ok (name, members)
+let parse_color = Serve.Exec.parse_color
 
 let color_conv =
   let parser s = try parse_color s with _ -> Error (`Msg "bad colour spec") in
@@ -2338,6 +2302,444 @@ let pulse_cmd =
     Term.(const run $ file_arg $ addr_arg $ endpoint_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / call / submit / poll: the resident service (folserve)       *)
+(* ------------------------------------------------------------------ *)
+
+let addr_of_spec ~cmd ~flag spec =
+  match Pulse.Addr.parse spec with
+  | Ok a -> a
+  | Error m ->
+      Format.eprintf "folearn %s: %s %s@." cmd flag m;
+      exit 2
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Where to accept requests: $(b,unix:PATH), $(b,HOST:PORT) or \
+             $(b,:PORT).")
+  in
+  let tenant_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant" ] ~docv:"NAME:QUOTA"
+          ~doc:
+            "Per-tenant admission quota (repeatable): \
+             $(b,NAME:fuel=N,deadline=S,table=N,ball=N), every term \
+             optional.  Requests are clamped to their tenant's quota; \
+             $(b,*) sets the default for unlisted tenants.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bounded request queue depth; a full queue sheds the \
+             earliest-deadline request with an $(b,overloaded) response.")
+  in
+  let job_dir_arg =
+    Arg.(
+      value & opt string "folearn-jobs"
+      & info [ "job-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable job table and snapshots; a restarted server resumes \
+             unfinished jobs from here.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; excess connects are refused \
+                $(b,overloaded).")
+  in
+  let run listen tenants queue_cap job_dir max_conns jobs metrics_addr =
+    let tenants =
+      List.map
+        (fun spec ->
+          match Serve.Tenant.parse spec with
+          | Ok kv -> kv
+          | Error m ->
+              Format.eprintf "folearn serve: --tenant %s@." m;
+              exit 2)
+        tenants
+    in
+    let engine_jobs =
+      match jobs with
+      | None -> 1
+      | Some n when n >= 1 -> n
+      | Some n ->
+          Format.eprintf "folearn serve: --jobs must be >= 1 (got %d)@." n;
+          exit 2
+    in
+    let cfg =
+      {
+        Serve.Daemon.listen = addr_of_spec ~cmd:"serve" ~flag:"--listen" listen;
+        tenants = Serve.Tenant.make tenants;
+        queue_cap;
+        job_dir;
+        max_conns;
+        engine_jobs;
+        metrics_addr =
+          Option.map
+            (addr_of_spec ~cmd:"serve" ~flag:"--metrics-addr")
+            metrics_addr;
+      }
+    in
+    match Serve.Daemon.run cfg with
+    | Ok code -> code
+    | Error m ->
+        Format.eprintf "folearn serve: %s@." m;
+        1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident learning service: warm shared state, \
+          per-tenant admission control, bounded queue with load \
+          shedding, resumable jobs, graceful drain on SIGTERM.")
+    Term.(
+      const run $ listen_arg $ tenant_arg $ queue_cap_arg $ job_dir_arg
+      $ max_conns_arg $ jobs_arg $ metrics_addr_arg)
+
+(* client side: one request per invocation, framed over the socket;
+   the response's stdout/stderr/code reproduce the one-shot CLI *)
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Server address: $(b,unix:PATH), $(b,HOST:PORT) or $(b,:PORT), \
+           as given to $(b,folearn serve --listen).")
+
+let rpc_tenant_arg =
+  Arg.(
+    value & opt string "anon"
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:"Tenant to bill this request to (admission quotas apply).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry up to $(docv) times, with exponential backoff, when the \
+           server answers $(b,overloaded) or $(b,draining) (exit 75) or \
+           the connection fails.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "backoff" ] ~docv:"SECONDS"
+        ~doc:"Initial retry backoff; doubles per attempt.")
+
+let rpc_timeout_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "rpc-timeout" ] ~docv:"SECONDS"
+        ~doc:"Socket receive timeout while waiting for the response.")
+
+let budget_req_of ~fuel ~timeout ~max_table ~max_ball =
+  { Serve.Proto.fuel; deadline_s = timeout; max_table; max_ball }
+
+let rpc_with_retries ~cmd ~connect ~retries ~backoff ~timeout_s req =
+  let addr = addr_of_spec ~cmd ~flag:"--connect" connect in
+  let rec attempt i sleep =
+    let retryable () =
+      if i < retries then begin
+        Unix.sleepf sleep;
+        attempt (i + 1) (sleep *. 2.0)
+      end
+      else None
+    in
+    match
+      Serve.Client.rpc ~timeout_s addr (Serve.Proto.request_to_json req)
+    with
+    | Error m -> (
+        match retryable () with
+        | Some r -> Some r
+        | None ->
+            Format.eprintf "folearn %s: %s@." cmd m;
+            None)
+    | Ok resp ->
+        if Serve.Proto.resp_code resp = Serve.Proto.exit_retry then
+          match retryable () with Some r -> Some r | None -> Some resp
+        else Some resp
+  in
+  attempt 0 backoff
+
+(* replay the remote run locally: its stdout to stdout, stderr to
+   stderr, its status code as the exit code *)
+let render_response resp =
+  print_string (Serve.Proto.resp_stdout resp);
+  prerr_string (Serve.Proto.resp_stderr resp);
+  flush stdout;
+  flush stderr;
+  Serve.Proto.resp_code resp
+
+(* op parameter flags, shared by call and submit; only flags the user
+   actually gave are sent, so server-side defaults match the CLI's *)
+
+let p_graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"SPEC"
+        ~doc:"Background graph spec (same DSL as the local commands).")
+
+let p_colors_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "c"; "color" ] ~docv:"NAME=V,V"
+        ~doc:"Add a colour class (repeatable).")
+
+let p_target_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target" ] ~docv:"FORMULA" ~doc:"Target formula (learn).")
+
+let p_formula_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "formula" ] ~docv:"FORMULA" ~doc:"Formula to check (mc).")
+
+let p_k_arg =
+  Arg.(value & opt (some int) None & info [ "k" ] ~docv:"N" ~doc:"Arity.")
+
+let p_ell_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "l"; "ell" ] ~docv:"N" ~doc:"Quantifier budget (learn).")
+
+let p_q_arg =
+  Arg.(
+    value & opt (some int) None & info [ "q" ] ~docv:"N" ~doc:"Quantifier rank.")
+
+let p_solver_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "solver" ] ~docv:"NAME" ~doc:"brute, nd, counting or local.")
+
+let p_tmax_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tmax" ] ~docv:"N" ~doc:"Counting-solver threshold cap.")
+
+let p_noise_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "noise" ] ~docv:"P" ~doc:"Label-flip probability (learn).")
+
+let p_m_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "m" ] ~docv:"N" ~doc:"Sample size; 0 = all tuples (learn).")
+
+let p_seed_arg =
+  Arg.(
+    value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Sample seed.")
+
+let p_via_erm_arg =
+  Arg.(
+    value & flag & info [ "via-erm" ] ~doc:"Model-check through the ERM \
+                                            reduction (mc).")
+
+let p_hintikka_arg =
+  Arg.(
+    value & flag & info [ "hintikka" ] ~doc:"Print Hintikka formulas (types).")
+
+let p_r_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "r" ] ~docv:"N" ~doc:"Splitter-game radius (game).")
+
+let params_json ~graph ~colors ~target ~formula ~k ~ell ~q ~solver ~tmax
+    ~noise ~m ~seed ~via_erm ~hintikka ~r =
+  let add name v acc =
+    match v with Some x -> (name, x) :: acc | None -> acc
+  in
+  let open Obs.Json in
+  []
+  |> add "graph" (Option.map (fun s -> String s) graph)
+  |> (fun acc ->
+       if colors = [] then acc
+       else ("colors", List (List.map (fun s -> String s) colors)) :: acc)
+  |> add "target" (Option.map (fun s -> String s) target)
+  |> add "formula" (Option.map (fun s -> String s) formula)
+  |> add "k" (Option.map (fun n -> Int n) k)
+  |> add "ell" (Option.map (fun n -> Int n) ell)
+  |> add "q" (Option.map (fun n -> Int n) q)
+  |> add "solver" (Option.map (fun s -> String s) solver)
+  |> add "tmax" (Option.map (fun n -> Int n) tmax)
+  |> add "noise" (Option.map (fun f -> Float f) noise)
+  |> add "m" (Option.map (fun n -> Int n) m)
+  |> add "seed" (Option.map (fun n -> Int n) seed)
+  |> (fun acc -> if via_erm then ("via_erm", Bool true) :: acc else acc)
+  |> (fun acc -> if hintikka then ("hintikka", Bool true) :: acc else acc)
+  |> add "r" (Option.map (fun n -> Int n) r)
+  |> List.rev
+  |> fun l -> Obj l
+
+let params_term =
+  let mk graph colors target formula k ell q solver tmax noise m seed via_erm
+      hintikka r =
+    params_json ~graph ~colors ~target ~formula ~k ~ell ~q ~solver ~tmax
+      ~noise ~m ~seed ~via_erm ~hintikka ~r
+  in
+  Term.(
+    const mk $ p_graph_arg $ p_colors_arg $ p_target_arg $ p_formula_arg
+    $ p_k_arg $ p_ell_arg $ p_q_arg $ p_solver_arg $ p_tmax_arg $ p_noise_arg
+    $ p_m_arg $ p_seed_arg $ p_via_erm_arg $ p_hintikka_arg $ p_r_arg)
+
+let call_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"learn, mc, types, game or ping.")
+  in
+  let run op connect tenant retries backoff timeout_s fuel timeout max_table
+      max_ball params =
+    let req =
+      {
+        Serve.Proto.tenant;
+        op;
+        budget = budget_req_of ~fuel ~timeout ~max_table ~max_ball;
+        params;
+      }
+    in
+    match
+      rpc_with_retries ~cmd:"call" ~connect ~retries ~backoff ~timeout_s req
+    with
+    | None -> 1
+    | Some resp -> render_response resp
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Run one op on a resident $(b,folearn serve) and replay its \
+          stdout/stderr/exit code locally.")
+    Term.(
+      const run $ op_arg $ connect_arg $ rpc_tenant_arg $ retries_arg
+      $ backoff_arg $ rpc_timeout_arg $ fuel_arg $ timeout_arg
+      $ max_table_arg $ max_ball_arg $ params_term)
+
+let submit_cmd =
+  let run connect tenant retries backoff timeout_s fuel timeout max_table
+      max_ball params =
+    let req =
+      {
+        Serve.Proto.tenant;
+        op = "submit";
+        budget = budget_req_of ~fuel ~timeout ~max_table ~max_ball;
+        params;
+      }
+    in
+    match
+      rpc_with_retries ~cmd:"submit" ~connect ~retries ~backoff ~timeout_s req
+    with
+    | None -> 1
+    | Some resp ->
+        prerr_string (Serve.Proto.resp_stderr resp);
+        (match
+           Option.bind
+             (Obs.Json.member "job" resp)
+             (Obs.Json.member "id")
+         with
+        | Some (Obs.Json.String id) ->
+            let status = Serve.Proto.resp_status resp in
+            Printf.printf "folearn submit: job %s %s\n" id status
+        | _ -> ());
+        flush stdout;
+        flush stderr;
+        Serve.Proto.resp_code resp
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a learn as a resumable server-side job; poll it with \
+          $(b,folearn poll).  Submitting identical work is idempotent.")
+    Term.(
+      const run $ connect_arg $ rpc_tenant_arg $ retries_arg $ backoff_arg
+      $ rpc_timeout_arg $ fuel_arg $ timeout_arg $ max_table_arg
+      $ max_ball_arg $ params_term)
+
+let poll_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOB"
+          ~doc:"Job id, as printed by $(b,folearn submit).")
+  in
+  let wait_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "wait" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep polling until the job settles or $(docv) elapse \
+             (0 = ask once).")
+  in
+  let run id connect tenant retries backoff timeout_s wait =
+    let req =
+      {
+        Serve.Proto.tenant;
+        op = "poll";
+        budget = Serve.Proto.no_budget;
+        params = Obs.Json.Obj [ ("id", Obs.Json.String id) ];
+      }
+    in
+    let pending resp =
+      match Serve.Proto.resp_status resp with
+      | "queued" | "running" -> true
+      | _ -> false
+    in
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec ask () =
+      match
+        rpc_with_retries ~cmd:"poll" ~connect ~retries ~backoff ~timeout_s req
+      with
+      | None -> None
+      | Some resp ->
+          if pending resp && Unix.gettimeofday () < deadline then begin
+            Unix.sleepf 0.2;
+            ask ()
+          end
+          else Some resp
+    in
+    match ask () with
+    | None -> 1
+    | Some resp ->
+        if pending resp then begin
+          Format.eprintf "folearn poll: job %s still %s@." id
+            (Serve.Proto.resp_status resp);
+          0
+        end
+        else render_response resp
+  in
+  Cmd.v
+    (Cmd.info "poll"
+       ~doc:
+         "Fetch a submitted job's result (or best-so-far status).  A \
+          stale or foreign job id yields a structured \
+          $(b,job_mismatch).")
+    Term.(
+      const run $ id_arg $ connect_arg $ rpc_tenant_arg $ retries_arg
+      $ backoff_arg $ rpc_timeout_arg $ wait_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "learning first-order queries (PODS 2022 reproduction)" in
@@ -2348,4 +2750,5 @@ let () =
           [
             learn_cmd; plan_cmd; mc_cmd; types_cmd; game_cmd; graph_cmd;
             strings_cmd; trees_cmd; lint_cmd; stats_cmd; pulse_cmd;
+            serve_cmd; call_cmd; submit_cmd; poll_cmd;
           ]))

@@ -118,13 +118,30 @@ type state = {
 module Budget = struct
   type t = state
 
-  let make ?fuel ?timeout_s ?max_table ?max_ball ?max_catalogue
+  let make ?fuel ?timeout_s ?deadline_ns ?max_table ?max_ball ?max_catalogue
       ?(faults = Faults.none) () =
     let born_ns = Obs.Clock.now_ns () in
-    let deadline_ns =
+    let relative_ns =
       Option.map
         (fun s -> Int64.add born_ns (Int64.of_float (s *. 1e9)))
         timeout_s
+    in
+    (* an absolute deadline composes with a relative timeout by taking
+       whichever lands first: a server clamps a client's timeout to the
+       tenant's wall-clock allowance this way *)
+    let deadline_ns =
+      match (relative_ns, deadline_ns) with
+      | None, d -> d
+      | r, None -> r
+      | Some r, Some d -> Some (if Int64.compare r d <= 0 then r else d)
+    in
+    (* [limits] must keep reflecting the wall-clock cap so static
+       admission ([Analysis.Plan]) can reason about it *)
+    let timeout_s =
+      match (timeout_s, deadline_ns) with
+      | Some _, _ | _, None -> timeout_s
+      | None, Some d ->
+          Some (Int64.to_float (Int64.sub d born_ns) /. 1e9)
     in
     {
       fuel_limit = fuel;

@@ -109,6 +109,7 @@ module Budget : sig
   val make :
     ?fuel:int ->
     ?timeout_s:float ->
+    ?deadline_ns:int64 ->
     ?max_table:int ->
     ?max_ball:int ->
     ?max_catalogue:int ->
@@ -117,7 +118,11 @@ module Budget : sig
     t
   (** Omitted limits are unlimited.  The deadline is absolute: it is
       [timeout_s] from the moment [make] is called, on the obs
-      monotonic clock. *)
+      monotonic clock.  [deadline_ns] is an already-absolute deadline
+      on that clock (a server stamps it at admission so queue wait
+      counts against the request); when both are given the earlier one
+      governs, and {!limits} reports the resulting wall-clock cap as
+      [l_timeout_s]. *)
 
   val unlimited : unit -> t
   (** No limits — useful to account {!type-spent} without bounding. *)

@@ -105,12 +105,21 @@ let parse_request_path head =
             | None -> target)
       | _ -> None)
 
+(* A scraper that hangs up mid-response must never take the process
+   down: SIGPIPE is ignored process-wide (see [start]), so the write
+   surfaces as EPIPE/ECONNRESET here — a clean client disconnect,
+   counted and dropped. *)
+let disconnects = Obs.Metric.counter "pulse.disconnects"
+
 let write_all conn s =
   let n = String.length s in
   let written = ref 0 in
-  while !written < n do
-    written := !written + Unix.write_substring conn s !written (n - !written)
-  done
+  try
+    while !written < n do
+      written := !written + Unix.write_substring conn s !written (n - !written)
+    done
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    Obs.Metric.incr disconnects
 
 let serve_conn conn =
   Fun.protect
@@ -149,6 +158,11 @@ let rec accept_loop fd stopping =
   end
 
 let start addr =
+  (* without this a client closing its socket between our write(2)s
+     kills the whole process with SIGPIPE; ignoring it process-wide
+     turns the condition into EPIPE, which [write_all] absorbs *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   match Addr.sockaddr addr with
   | Error e -> Error e
   | Ok sa -> (

@@ -12,9 +12,10 @@
     - [/progress] — the registered {!set_progress} sampler's JSON
       (see {!Progress}), or [{}] when none is installed.
 
-    This is the first networking slice of the folserve daemon
-    (ROADMAP item 1): the listener/route skeleton is what the framed
-    request protocol will grow on. *)
+    This was the first networking slice of the folserve daemon: the
+    framed request protocol grew on the same listener discipline and
+    lives in [lib/serve] ({!Serve.Daemon} binds one of these next to
+    its RPC socket for live metrics). *)
 
 type t
 

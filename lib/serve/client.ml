@@ -1,0 +1,29 @@
+let rpc ?(timeout_s = 60.0) addr req =
+  match Pulse.Addr.sockaddr addr with
+  | Error e -> Error e
+  | Ok sa -> (
+      let dom_kind =
+        match sa with
+        | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+        | Unix.ADDR_INET _ -> Unix.PF_INET
+      in
+      let fd = Unix.socket dom_kind Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          match Unix.connect fd sa with
+          | exception Unix.Unix_error (err, _, _) ->
+              Error
+                (Printf.sprintf "connect %s: %s"
+                   (Pulse.Addr.to_string addr)
+                   (Unix.error_message err))
+          | () -> (
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+               with _ -> ());
+              match Frame.write fd req with
+              | Error e -> Error e
+              | Ok () -> (
+                  match Frame.read fd with
+                  | Ok j -> Ok j
+                  | Error `Eof -> Error "server closed the connection"
+                  | Error (`Error e) -> Error e))))

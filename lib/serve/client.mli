@@ -1,0 +1,13 @@
+(** One-shot RPC client for the resident service: connect, send one
+    framed request, read one framed response.  Used by the CLI's
+    [call]/[submit]/[poll] subcommands and by the test harnesses. *)
+
+val rpc :
+  ?timeout_s:float ->
+  Pulse.Addr.t ->
+  Obs.Json.t ->
+  (Obs.Json.t, string) result
+(** [rpc addr req] connects to [addr] (Unix socket or TCP), writes
+    [req] as one [FOLEARNRPC1] frame, and reads the response frame.
+    [timeout_s] (default 60) bounds the socket receive wait — long
+    jobs are submitted and polled, not awaited on one connection. *)

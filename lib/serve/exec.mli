@@ -1,0 +1,59 @@
+(** Op execution for the resident service.
+
+    Each op replays the one-shot CLI's solo code path — same solver
+    entry points, same print statements, same exit-code taxonomy — but
+    writes to in-memory buffers instead of the process streams, so a
+    response's [stdout] is byte-identical to the corresponding
+    [folearn_cli] invocation (the chaos harness asserts this).
+
+    Ops and their parameter objects (all members optional unless
+    noted):
+    - [learn]: [graph] (spec string, required), [colors] (list of
+      [NAME=v,v] strings), [target] (required), [k], [ell], [q],
+      [solver] (brute|nd|counting|local), [tmax], [noise], [m], [seed]
+    - [mc]: [graph] (required), [colors], [formula] (required),
+      [via_erm] (bool)
+    - [types]: [graph] (required), [colors], [q], [k], [hintikka]
+    - [game]: [graph] (required), [colors], [r] *)
+
+val parse_graph_spec : string -> (Cgraph.Graph.t, [ `Msg of string ]) result
+(** The CLI's graph-spec DSL ([path:N], [grid:WxH], [gnp:N:P:SEED],
+    [file:PATH], ...); shared so server and CLI accept exactly the
+    same specs. *)
+
+val parse_color : string -> (string * int list, [ `Msg of string ]) result
+
+type run = {
+  code : int;  (** 0 complete / 2 usage / 3 degraded / 4 exhausted *)
+  out : string;  (** captured stdout, byte-identical to the CLI's *)
+  err : string;  (** captured stderr (timing fields will differ) *)
+  spent : Guard.spent option;
+}
+
+val run_op :
+  ?budget:Guard.Budget.t ->
+  ?ckpt:Resil.Ctl.t ->
+  ?precheck:bool ->
+  op:string ->
+  params:Obs.Json.t ->
+  unit ->
+  run
+(** Execute one op.  Must be called from at most one domain at a time
+    (the engine): solvers share the default [Par] pool and the ambient
+    [Guard] budget, both of which support a single driver. *)
+
+val learn_identity :
+  Obs.Json.t -> (string * string, string) result
+(** [(run_id, solver_name)] of a learn parameter object — the same
+    digest the CLI computes, without labelling the sample.  Used to
+    key server-side jobs and their snapshots. *)
+
+val precheck_rejection :
+  op:string ->
+  params:Obs.Json.t ->
+  limits:Analysis.Plan.limits ->
+  (Analysis.Plan.rejection option, string) result
+(** Zero-fuel static admission: would this op, under these limits,
+    provably exhaust before settling a first answer?  [Error] when the
+    parameters are unusable (the request will fail as [usage] anyway).
+    Ops without a planner model ([types], [game]) always admit. *)

@@ -1,0 +1,96 @@
+type entry = {
+  e_seq : int;
+  e_tenant : string;
+  e_deadline_ns : int64 option;
+  e_run : unit -> unit;
+  e_shed : unit -> unit;
+}
+
+type t = {
+  cap : int;
+  mutable q : entry list;  (* arrival order, head = oldest *)
+  mutable closed : bool;
+  mu : Mutex.t;
+  cond : Condition.t;
+  depth_gauge : Obs.Metric.gauge;
+}
+
+let create ~cap =
+  {
+    cap = max 1 cap;
+    q = [];
+    closed = false;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    depth_gauge = Obs.Metric.gauge "serve.queue_depth";
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let set_depth t = Obs.Metric.set t.depth_gauge (float_of_int (List.length t.q))
+
+(* shedding rank: earliest deadline first; deadline-less entries last,
+   oldest (lowest seq) first among them *)
+let shed_rank e =
+  match e.e_deadline_ns with
+  | Some d -> (0, d, e.e_seq)
+  | None -> (1, 0L, e.e_seq)
+
+let push t e =
+  let action =
+    locked t (fun () ->
+        if t.closed then `Closed
+        else if List.length t.q < t.cap then begin
+          t.q <- t.q @ [ e ];
+          set_depth t;
+          Condition.signal t.cond;
+          `Queued
+        end
+        else
+          (* full: shed whichever of (queued ∪ {incoming}) ranks first *)
+          let victim =
+            List.fold_left
+              (fun acc c -> if shed_rank c < shed_rank acc then c else acc)
+              e t.q
+          in
+          if victim.e_seq = e.e_seq then `Shed_incoming
+          else begin
+            t.q <-
+              List.filter (fun c -> c.e_seq <> victim.e_seq) t.q @ [ e ];
+            set_depth t;
+            Condition.signal t.cond;
+            `Shed_queued victim
+          end)
+  in
+  match action with
+  | `Shed_queued victim ->
+      (* outside the lock: the callback writes to a socket *)
+      (try victim.e_shed () with _ -> ());
+      `Queued
+  | (`Closed | `Queued | `Shed_incoming) as r -> r
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        match t.q with
+        | e :: rest ->
+            t.q <- rest;
+            set_depth t;
+            Some e
+        | [] ->
+            if t.closed then None
+            else begin
+              Condition.wait t.cond t.mu;
+              wait ()
+            end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cond)
+
+let depth t = locked t (fun () -> List.length t.q)

@@ -1,0 +1,37 @@
+(** Bounded admission queue between the connection threads and the
+    single engine domain.
+
+    The queue never grows past its cap: pushing onto a full queue
+    sheds one request — the entry with the earliest deadline (the one
+    most likely to miss anyway; entries without a deadline rank last,
+    oldest first among them).  The victim can be the incoming request
+    itself.  Shed entries get their [e_shed] callback (the connection
+    thread answers [overloaded]); the engine never sees them. *)
+
+type entry = {
+  e_seq : int;
+  e_tenant : string;
+  e_deadline_ns : int64 option;  (** absolute, obs monotonic clock *)
+  e_run : unit -> unit;  (** executed serially by the engine *)
+  e_shed : unit -> unit;  (** called (outside the lock) when evicted *)
+}
+
+type t
+
+val create : cap:int -> t
+
+val push : t -> entry -> [ `Queued | `Shed_incoming | `Closed ]
+(** [`Shed_incoming]: the queue was full and the incoming entry ranked
+    first for shedding.  When instead a queued victim is evicted, its
+    [e_shed] runs and the push still returns [`Queued].  [`Closed]
+    after {!close} (the server is draining). *)
+
+val pop : t -> entry option
+(** Block until an entry is available (FIFO order).  [None] once the
+    queue is closed {e and} drained — accepted work always completes. *)
+
+val close : t -> unit
+(** Stop accepting pushes and wake every popper.  Must not be called
+    from a signal handler (takes the queue lock). *)
+
+val depth : t -> int

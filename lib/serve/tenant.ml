@@ -1,0 +1,75 @@
+type quota = {
+  t_fuel : int option;
+  t_deadline_s : float option;
+  t_max_table : int option;
+  t_max_ball : int option;
+}
+
+let unrestricted =
+  { t_fuel = None; t_deadline_s = None; t_max_table = None; t_max_ball = None }
+
+type t = (string * quota) list
+
+let parse spec =
+  match String.index_opt spec ':' with
+  | None -> Error "tenant quota must be NAME:fuel=N,deadline=S,table=N,ball=N"
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if name = "" then Error "empty tenant name"
+      else
+        let parts =
+          if rest = "" then [] else String.split_on_char ',' rest
+        in
+        let rec go q = function
+          | [] -> Ok (name, q)
+          | part :: tl -> (
+              match String.index_opt part '=' with
+              | None -> Error (Printf.sprintf "bad quota term %S" part)
+              | Some j -> (
+                  let key = String.sub part 0 j in
+                  let v = String.sub part (j + 1) (String.length part - j - 1) in
+                  let int_v () =
+                    match int_of_string_opt v with
+                    | Some n when n >= 0 -> Ok n
+                    | _ -> Error (Printf.sprintf "bad quota value %S" part)
+                  in
+                  let ( let* ) = Result.bind in
+                  match key with
+                  | "fuel" ->
+                      let* n = int_v () in
+                      go { q with t_fuel = Some n } tl
+                  | "deadline" -> (
+                      match float_of_string_opt v with
+                      | Some s when s >= 0.0 ->
+                          go { q with t_deadline_s = Some s } tl
+                      | _ -> Error (Printf.sprintf "bad quota value %S" part))
+                  | "table" ->
+                      let* n = int_v () in
+                      go { q with t_max_table = Some n } tl
+                  | "ball" ->
+                      let* n = int_v () in
+                      go { q with t_max_ball = Some n } tl
+                  | _ -> Error (Printf.sprintf "unknown quota key %S" key)))
+        in
+        go unrestricted parts)
+
+let make entries = entries
+
+let quota_for t name =
+  match List.assoc_opt name t with
+  | Some q -> q
+  | None -> Option.value ~default:unrestricted (List.assoc_opt "*" t)
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let clamp q (b : Proto.budget_req) =
+  {
+    Proto.fuel = min_opt b.Proto.fuel q.t_fuel;
+    deadline_s = min_opt b.Proto.deadline_s q.t_deadline_s;
+    max_table = min_opt b.Proto.max_table q.t_max_table;
+    max_ball = min_opt b.Proto.max_ball q.t_max_ball;
+  }

@@ -1,0 +1,31 @@
+(** Per-tenant admission quotas.
+
+    The operator declares quotas with repeatable
+    [--tenant NAME:fuel=N,deadline=S,table=N,ball=N] flags (every
+    component optional).  A request's declared budget is clamped to
+    its tenant's quota — the effective limit for each resource is the
+    smaller of what the client asked for and what the tenant is
+    allowed — and the clamped budget is what admission prechecks and
+    [Guard] enforce.  The name [*] declares a default quota applied to
+    tenants with no entry of their own; with no [*] entry, unlisted
+    tenants are unrestricted. *)
+
+type quota = {
+  t_fuel : int option;
+  t_deadline_s : float option;  (** wall-clock allowance per request *)
+  t_max_table : int option;
+  t_max_ball : int option;
+}
+
+val unrestricted : quota
+
+type t
+
+val parse : string -> (string * quota, string) result
+(** Parse one [--tenant] flag value. *)
+
+val make : (string * quota) list -> t
+val quota_for : t -> string -> quota
+
+val clamp : quota -> Proto.budget_req -> Proto.budget_req
+(** Component-wise minimum of the client's asks and the quota. *)

@@ -45,6 +45,16 @@ EXTRA_HEADLINE = {
         "speedup_at_4_jobs": (int, float),
         "identical": bool,
     },
+    # e22 reports the resident service's health: total requests pushed
+    # through the engine across its legs, how many a stingy tenant had
+    # refused at admission, how many the bounded queue shed under
+    # saturation, and the warm-engine speedup over a cold CLI process
+    "e22": {
+        "requests": int,
+        "rejected": int,
+        "shed": int,
+        "warm_speedup": (int, float),
+    },
 }
 
 

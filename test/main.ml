@@ -27,4 +27,5 @@ let () =
       ("pulse", Test_pulse.suite);
       ("fleet", Test_fleet.suite);
       ("hotpath", Test_hotpath.suite);
+      ("serve", Test_serve.suite);
     ]
